@@ -1,0 +1,124 @@
+// Micro-benchmarks of the substrates (google-benchmark): dense matmul,
+// k-means, convex hull, TopoAC topological checks, WKNN queries, and one
+// BiSIM forward/backward step. Useful for tracking performance regressions
+// in the hand-rolled numeric kernels.
+#include <benchmark/benchmark.h>
+
+#include "bisim/bisim.h"
+#include "clustering/differentiation.h"
+#include "clustering/kmeans.h"
+#include "clustering/strategies.h"
+#include "geometry/geometry.h"
+#include "la/matrix.h"
+#include "positioning/estimators.h"
+#include "survey/survey.h"
+
+namespace rmi {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  la::Matrix a = la::Matrix::Random(n, n, rng);
+  la::Matrix b = la::Matrix::Random(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  la::Matrix m = la::Matrix::Random(n, n, rng);
+  la::Matrix a = m.Transpose().MatMul(m) + la::Matrix::Identity(n);
+  la::Matrix b = la::Matrix::Random(n, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::CholeskySolve(a, b));
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(16)->Arg(64);
+
+void BM_ConvexHull(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < state.range(0); ++i) {
+    pts.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::ConvexHull(pts));
+  }
+}
+BENCHMARK(BM_ConvexHull)->Arg(64)->Arg(1024);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng rng(4);
+  la::Matrix x = la::Matrix::Random(400, 64, rng);
+  cluster::KMeansParams p;
+  p.k = static_cast<size_t>(state.range(0));
+  p.max_iters = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::KMeans(x, p, rng));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(4)->Arg(32);
+
+void BM_WknnQuery(benchmark::State& state) {
+  const auto ds = survey::MakeKaideDataset(0.08);
+  rmap::RadioMap complete = ds.map;
+  for (size_t i = 0; i < complete.size(); ++i) {
+    auto& r = complete.record(i);
+    for (double& v : r.rssi) {
+      if (IsNull(v)) v = kMnarFillDbm;
+    }
+    r.has_rp = true;
+  }
+  positioning::KnnEstimator wknn(3, true);
+  Rng rng(5);
+  wknn.Fit(complete, rng);
+  const std::vector<double> probe = complete.record(0).rssi;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wknn.Estimate(probe));
+  }
+}
+BENCHMARK(BM_WknnQuery);
+
+void BM_TopoEntityExist(benchmark::State& state) {
+  const auto ds = survey::MakeKaideDataset(0.08);
+  Rng rng(6);
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.Uniform(0, ds.venue.width),
+                   rng.Uniform(0, ds.venue.height)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::EntityExist(pts, ds.venue.walls));
+  }
+}
+BENCHMARK(BM_TopoEntityExist);
+
+void BM_BiSimStep(benchmark::State& state) {
+  const auto ds = survey::MakeKaideDataset(0.08);
+  bisim::BiSimConfig cfg;
+  cfg.loc_scale = 1.0 / 57.0;
+  Rng rng(7);
+  bisim::BiSimModel model(ds.map.num_aps(), cfg, rng);
+  cluster::MarOnlyDifferentiator diff;
+  Rng drng(8);
+  const auto mask = diff.Differentiate(ds.map, drng);
+  const auto seqs = bisim::BuildSequences(ds.map, mask, cfg);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto out = model.Forward(seqs[i % seqs.size()], /*compute_loss=*/true);
+    out.loss.Backward();
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+}
+BENCHMARK(BM_BiSimStep);
+
+}  // namespace
+}  // namespace rmi
+
+BENCHMARK_MAIN();

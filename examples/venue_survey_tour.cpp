@@ -1,0 +1,86 @@
+// Tour of the data-generation substrate: venue layout, radio propagation,
+// the asynchronous Walking Survey Record Table, and the epsilon-merge
+// radio-map creation of paper Section II-B.
+#include <cstdio>
+
+#include "radio/propagation.h"
+#include "survey/survey.h"
+
+int main() {
+  using namespace rmi;
+
+  // A small custom venue (not a preset) to show the spec knobs.
+  indoor::VenueSpec spec;
+  spec.name = "demo-mall";
+  spec.width = 40;
+  spec.height = 32;
+  spec.rooms_x = 3;
+  spec.rooms_y = 2;
+  spec.hallway_width = 3.0;
+  spec.num_aps = 60;
+  spec.rp_spacing = 4.5;
+  spec.room_visit_fraction = 0.5;
+  spec.seed = 11;
+  const indoor::Venue venue = indoor::GenerateVenue(spec);
+  std::printf("venue '%s': %.0f m^2, %zu rooms, %zu wall polygons, %zu APs, "
+              "%zu RPs on %zu survey paths (%.2f RPs / 100 m^2)\n",
+              venue.name.c_str(), venue.FloorArea(), venue.rooms.size(),
+              venue.walls.size(), venue.aps.size(), venue.rps.size(),
+              venue.paths.size(), venue.RpDensityPer100m2());
+
+  // Radio environment: how observable is AP 0 across the venue?
+  radio::PropagationParams params;
+  radio::PropagationModel model(&venue, params);
+  std::printf("AP 0 at (%.1f, %.1f): observable at %.0f%% of RPs "
+              "(venue-wide observable fraction %.1f%%)\n",
+              venue.aps[0].position.x, venue.aps[0].position.y,
+              [&] {
+                size_t n = 0;
+                for (const auto& rp : venue.rps) n += model.IsObservable(0, rp);
+                return 100.0 * double(n) / double(venue.rps.size());
+              }(),
+              100.0 * model.ObservableFraction());
+
+  // One walked path -> Walking Survey Record Table (paper Table II).
+  survey::SurveySpec sspec;
+  sspec.rounds = 1;
+  Rng rng(3);
+  const auto tables = survey::SimulateSurvey(venue, model, sspec, rng);
+  const survey::PathRecordTable& first = tables.front();
+  std::printf("\nWalking Survey Record Table (path 0, first 8 records):\n");
+  std::printf("%8s  %-5s  %s\n", "time", "type", "measurement");
+  for (size_t i = 0; i < first.records.size() && i < 8; ++i) {
+    const auto& r = first.records[i];
+    if (r.is_rp) {
+      std::printf("%8.2f  RP     (%.1f, %.1f)\n", r.time, r.rp.x, r.rp.y);
+    } else {
+      std::printf("%8.2f  RSSI   %zu APs heard, e.g.", r.time, r.rssi.size());
+      for (size_t j = 0; j < r.rssi.size() && j < 3; ++j) {
+        std::printf(" r%zu:%.0f", r.rssi[j].first, r.rssi[j].second);
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Radio-map creation (Section II-B epsilon merge).
+  std::vector<geom::Point> positions;
+  const auto records = survey::CreateRadioMapRecords(
+      first, venue.aps.size(), /*epsilon_s=*/1.0, &positions);
+  size_t with_rp = 0;
+  for (const auto& r : records) with_rp += r.has_rp;
+  std::printf("\nradio-map creation: %zu raw records -> %zu radio map "
+              "records (%zu with RP)\n",
+              first.records.size(), records.size(), with_rp);
+
+  // Full dataset with ground truth.
+  const survey::SurveyDataset ds =
+      survey::GenerateDataset(spec, params, sspec);
+  std::printf("\nfull dataset: %zu records; ground truth: %zu observed / "
+              "%zu MAR / %zu MNAR cells (MAR share of missing: %.2f%%)\n",
+              ds.map.size(),
+              ds.truth.mask.CountOf(rmap::MaskValue::kObserved),
+              ds.truth.mask.CountOf(rmap::MaskValue::kMar),
+              ds.truth.mask.CountOf(rmap::MaskValue::kMnar),
+              100.0 * ds.truth.mask.MarShareOfMissing());
+  return 0;
+}

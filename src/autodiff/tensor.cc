@@ -1,0 +1,340 @@
+#include "autodiff/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace rmi::ad {
+
+using internal::Node;
+
+namespace {
+
+std::shared_ptr<Node> MakeNode(la::Matrix value,
+                               std::vector<std::shared_ptr<Node>> parents,
+                               std::function<void(Node&)> backward) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  n->parents = std::move(parents);
+  n->backward = std::move(backward);
+  for (const auto& p : n->parents) {
+    if (p->requires_grad) {
+      n->requires_grad = true;
+      break;
+    }
+  }
+  return n;
+}
+
+/// Accumulates `delta` into the parent's grad if it participates in training.
+void Accumulate(const std::shared_ptr<Node>& parent, const la::Matrix& delta) {
+  if (!parent->requires_grad) return;
+  parent->EnsureGrad();
+  parent->grad += delta;
+}
+
+}  // namespace
+
+Tensor Tensor::Param(la::Matrix value) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  n->requires_grad = true;
+  n->EnsureGrad();
+  return Tensor(std::move(n));
+}
+
+Tensor Tensor::Constant(la::Matrix value) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  return Tensor(std::move(n));
+}
+
+void Tensor::ZeroGrad() {
+  node_->EnsureGrad();
+  node_->grad *= 0.0;
+}
+
+void Tensor::Backward() const {
+  RMI_CHECK(node_ != nullptr);
+  RMI_CHECK_EQ(node_->value.rows(), 1u);
+  RMI_CHECK_EQ(node_->value.cols(), 1u);
+  // Iterative post-order topological sort (graphs can be deep for long
+  // sequences; avoid recursion).
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [n, idx] = stack.back();
+    if (idx < n->parents.size()) {
+      Node* p = n->parents[idx].get();
+      ++idx;
+      if (p->requires_grad && visited.insert(p).second) {
+        stack.emplace_back(p, 0);
+      }
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+  // Seed and propagate in reverse topological order.
+  for (Node* n : order) n->EnsureGrad();
+  node_->grad = la::Matrix(1, 1, 1.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward) n->backward(*n);
+  }
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  RMI_CHECK(a.value().SameShape(b.value()));
+  auto pa = a.node(), pb = b.node();
+  return Tensor(MakeNode(a.value() + b.value(), {pa, pb}, [pa, pb](Node& n) {
+    Accumulate(pa, n.grad);
+    Accumulate(pb, n.grad);
+  }));
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  RMI_CHECK(a.value().SameShape(b.value()));
+  auto pa = a.node(), pb = b.node();
+  return Tensor(MakeNode(a.value() - b.value(), {pa, pb}, [pa, pb](Node& n) {
+    Accumulate(pa, n.grad);
+    Accumulate(pb, n.grad * -1.0);
+  }));
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  RMI_CHECK(a.value().SameShape(b.value()));
+  auto pa = a.node(), pb = b.node();
+  return Tensor(
+      MakeNode(a.value().CwiseProduct(b.value()), {pa, pb}, [pa, pb](Node& n) {
+        Accumulate(pa, n.grad.CwiseProduct(pb->value));
+        Accumulate(pb, n.grad.CwiseProduct(pa->value));
+      }));
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  auto pa = a.node(), pb = b.node();
+  return Tensor(
+      MakeNode(a.value().MatMul(b.value()), {pa, pb}, [pa, pb](Node& n) {
+        if (pa->requires_grad) {
+          Accumulate(pa, n.grad.MatMul(pb->value.Transpose()));
+        }
+        if (pb->requires_grad) {
+          Accumulate(pb, pa->value.Transpose().MatMul(n.grad));
+        }
+      }));
+}
+
+Tensor Scale(const Tensor& x, double s) {
+  auto px = x.node();
+  return Tensor(MakeNode(x.value() * s, {px}, [px, s](Node& n) {
+    Accumulate(px, n.grad * s);
+  }));
+}
+
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
+  RMI_CHECK_EQ(bias.rows(), 1u);
+  RMI_CHECK_EQ(bias.cols(), x.cols());
+  auto px = x.node(), pb = bias.node();
+  return Tensor(MakeNode(x.value().AddRowBroadcast(bias.value()), {px, pb},
+                         [px, pb](Node& n) {
+                           Accumulate(px, n.grad);
+                           if (pb->requires_grad) {
+                             la::Matrix colsum(1, n.grad.cols());
+                             for (size_t i = 0; i < n.grad.rows(); ++i) {
+                               for (size_t j = 0; j < n.grad.cols(); ++j) {
+                                 colsum(0, j) += n.grad(i, j);
+                               }
+                             }
+                             Accumulate(pb, colsum);
+                           }
+                         }));
+}
+
+Tensor ScaleBy(const Tensor& scalar, const Tensor& x) {
+  RMI_CHECK_EQ(scalar.rows(), 1u);
+  RMI_CHECK_EQ(scalar.cols(), 1u);
+  auto ps = scalar.node(), px = x.node();
+  const double s = scalar.value()(0, 0);
+  return Tensor(MakeNode(x.value() * s, {ps, px}, [ps, px](Node& n) {
+    const double sv = ps->value(0, 0);
+    if (px->requires_grad) Accumulate(px, n.grad * sv);
+    if (ps->requires_grad) {
+      double dot = 0.0;
+      for (size_t i = 0; i < n.grad.size(); ++i) {
+        dot += n.grad.data()[i] * px->value.data()[i];
+      }
+      Accumulate(ps, la::Matrix(1, 1, dot));
+    }
+  }));
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  auto px = x.node();
+  la::Matrix y = x.value().Map([](double v) {
+    return v >= 0 ? 1.0 / (1.0 + std::exp(-v))
+                  : std::exp(v) / (1.0 + std::exp(v));
+  });
+  auto n = MakeNode(std::move(y), {px}, nullptr);
+  n->backward = [px](Node& nd) {
+    la::Matrix d = nd.value.Map([](double v) { return v * (1.0 - v); });
+    Accumulate(px, nd.grad.CwiseProduct(d));
+  };
+  return Tensor(std::move(n));
+}
+
+Tensor Tanh(const Tensor& x) {
+  auto px = x.node();
+  auto n = MakeNode(x.value().Map([](double v) { return std::tanh(v); }), {px},
+                    nullptr);
+  n->backward = [px](Node& nd) {
+    la::Matrix d = nd.value.Map([](double v) { return 1.0 - v * v; });
+    Accumulate(px, nd.grad.CwiseProduct(d));
+  };
+  return Tensor(std::move(n));
+}
+
+Tensor Relu(const Tensor& x) {
+  auto px = x.node();
+  auto n = MakeNode(x.value().Map([](double v) { return v > 0 ? v : 0.0; }),
+                    {px}, nullptr);
+  n->backward = [px](Node& nd) {
+    la::Matrix d(nd.value.rows(), nd.value.cols());
+    for (size_t i = 0; i < d.size(); ++i) {
+      d.data()[i] = px->value.data()[i] > 0 ? nd.grad.data()[i] : 0.0;
+    }
+    Accumulate(px, d);
+  };
+  return Tensor(std::move(n));
+}
+
+Tensor Exp(const Tensor& x) {
+  auto px = x.node();
+  auto n = MakeNode(x.value().Map([](double v) { return std::exp(v); }), {px},
+                    nullptr);
+  n->backward = [px](Node& nd) {
+    Accumulate(px, nd.grad.CwiseProduct(nd.value));
+  };
+  return Tensor(std::move(n));
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  RMI_CHECK_EQ(a.rows(), b.rows());
+  auto pa = a.node(), pb = b.node();
+  const size_t ca = a.cols();
+  return Tensor(MakeNode(a.value().ConcatCols(b.value()), {pa, pb},
+                         [pa, pb, ca](Node& n) {
+                           Accumulate(pa, n.grad.SliceCols(0, ca));
+                           Accumulate(pb, n.grad.SliceCols(ca, n.grad.cols()));
+                         }));
+}
+
+Tensor SliceCols(const Tensor& x, size_t c0, size_t c1) {
+  auto px = x.node();
+  return Tensor(MakeNode(x.value().SliceCols(c0, c1), {px},
+                         [px, c0](Node& n) {
+                           if (!px->requires_grad) return;
+                           la::Matrix d(px->value.rows(), px->value.cols());
+                           for (size_t i = 0; i < n.grad.rows(); ++i) {
+                             for (size_t j = 0; j < n.grad.cols(); ++j) {
+                               d(i, c0 + j) = n.grad(i, j);
+                             }
+                           }
+                           Accumulate(px, d);
+                         }));
+}
+
+Tensor SoftmaxRows(const Tensor& x) {
+  auto px = x.node();
+  la::Matrix y = x.value();
+  for (size_t i = 0; i < y.rows(); ++i) {
+    double mx = -1e300;
+    for (size_t j = 0; j < y.cols(); ++j) mx = std::max(mx, y(i, j));
+    double sum = 0.0;
+    for (size_t j = 0; j < y.cols(); ++j) {
+      y(i, j) = std::exp(y(i, j) - mx);
+      sum += y(i, j);
+    }
+    for (size_t j = 0; j < y.cols(); ++j) y(i, j) /= sum;
+  }
+  auto n = MakeNode(std::move(y), {px}, nullptr);
+  n->backward = [px](Node& nd) {
+    if (!px->requires_grad) return;
+    la::Matrix d(nd.value.rows(), nd.value.cols());
+    for (size_t i = 0; i < nd.value.rows(); ++i) {
+      double dot = 0.0;
+      for (size_t j = 0; j < nd.value.cols(); ++j) {
+        dot += nd.grad(i, j) * nd.value(i, j);
+      }
+      for (size_t j = 0; j < nd.value.cols(); ++j) {
+        d(i, j) = nd.value(i, j) * (nd.grad(i, j) - dot);
+      }
+    }
+    Accumulate(px, d);
+  };
+  return Tensor(std::move(n));
+}
+
+Tensor Sum(const Tensor& x) {
+  auto px = x.node();
+  return Tensor(MakeNode(la::Matrix(1, 1, x.value().Sum()), {px},
+                         [px](Node& n) {
+                           const double g = n.grad(0, 0);
+                           Accumulate(px,
+                                      la::Matrix(px->value.rows(),
+                                                 px->value.cols(), g));
+                         }));
+}
+
+Tensor Mean(const Tensor& x) {
+  const double inv = 1.0 / static_cast<double>(x.value().size());
+  return Scale(Sum(x), inv);
+}
+
+Tensor Mse(const Tensor& a, const Tensor& b) {
+  Tensor d = Sub(a, b);
+  return Mean(Mul(d, d));
+}
+
+Tensor MaskedMse(const Tensor& a, const Tensor& b, const la::Matrix& mask) {
+  RMI_CHECK(a.value().SameShape(mask));
+  Tensor m = Tensor::Constant(mask);
+  Tensor d = Mul(Sub(a, b), m);
+  return Mean(Mul(d, d));
+}
+
+Tensor BceWithLogits(const Tensor& logits, const la::Matrix& targets) {
+  RMI_CHECK(logits.value().SameShape(targets));
+  auto px = logits.node();
+  const la::Matrix& x = logits.value();
+  double loss = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double v = x.data()[i];
+    const double t = targets.data()[i];
+    // log(1+exp(v)) - t*v, computed stably.
+    loss += std::max(v, 0.0) - t * v + std::log1p(std::exp(-std::fabs(v)));
+  }
+  loss /= static_cast<double>(x.size());
+  auto n = MakeNode(la::Matrix(1, 1, loss), {px}, nullptr);
+  la::Matrix t_copy = targets;
+  n->backward = [px, t_copy](Node& nd) {
+    if (!px->requires_grad) return;
+    const double g = nd.grad(0, 0) / static_cast<double>(px->value.size());
+    la::Matrix d(px->value.rows(), px->value.cols());
+    for (size_t i = 0; i < d.size(); ++i) {
+      const double v = px->value.data()[i];
+      const double sig = v >= 0 ? 1.0 / (1.0 + std::exp(-v))
+                                : std::exp(v) / (1.0 + std::exp(v));
+      d.data()[i] = g * (sig - t_copy.data()[i]);
+    }
+    Accumulate(px, d);
+  };
+  return Tensor(std::move(n));
+}
+
+}  // namespace rmi::ad

@@ -1,0 +1,123 @@
+// Reverse-mode automatic differentiation over dense matrices.
+//
+// Define-by-run tape: every op builds a graph node holding its value, the
+// parent handles, and a backward closure. Calling Backward() on a scalar
+// node topologically sorts the reachable graph and accumulates gradients
+// into every node that requires them. Parameters (leaves created with
+// Tensor::Param) persist across steps; op nodes are released when the last
+// handle drops.
+//
+// Sized for the paper's models: per-step vectors are 1 x K rows, sequences
+// of length T=5, latent sizes of tens — graph sizes of a few hundred nodes.
+#ifndef RMI_AUTODIFF_TENSOR_H_
+#define RMI_AUTODIFF_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace rmi::ad {
+
+namespace internal {
+
+struct Node {
+  la::Matrix value;
+  la::Matrix grad;  ///< allocated lazily; same shape as value
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates this node's grad into its parents' grads.
+  std::function<void(Node&)> backward;
+
+  void EnsureGrad() {
+    if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+      grad = la::Matrix(value.rows(), value.cols());
+    }
+  }
+};
+
+}  // namespace internal
+
+/// Value handle into the autodiff graph (cheap shared-pointer copy).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Trainable leaf (gradient accumulated by Backward, consumed by Adam).
+  static Tensor Param(la::Matrix value);
+
+  /// Non-trainable leaf (inputs, masks).
+  static Tensor Constant(la::Matrix value);
+
+  bool defined() const { return node_ != nullptr; }
+  const la::Matrix& value() const { return node_->value; }
+  la::Matrix& mutable_value() { return node_->value; }
+  const la::Matrix& grad() const { return node_->grad; }
+  bool requires_grad() const { return node_->requires_grad; }
+
+  size_t rows() const { return node_->value.rows(); }
+  size_t cols() const { return node_->value.cols(); }
+
+  /// Zeroes the accumulated gradient (typically on parameters after a step).
+  void ZeroGrad();
+
+  /// Runs reverse-mode accumulation from this scalar (1x1) node.
+  void Backward() const;
+
+  /// Internal: node access for op construction.
+  const std::shared_ptr<internal::Node>& node() const { return node_; }
+  explicit Tensor(std::shared_ptr<internal::Node> node)
+      : node_(std::move(node)) {}
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+/// --- Ops (shape-checked; broadcast rules documented per op). -------------
+
+/// Elementwise a + b (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// Elementwise a - b.
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// Elementwise (Hadamard) a * b.
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// Matrix product (r x k) * (k x c).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// x * s for a compile-time-known scalar s.
+Tensor Scale(const Tensor& x, double s);
+/// Adds a 1 x C bias row to every row of x (N x C).
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias);
+/// scalar (1x1 tensor) * x, broadcast.
+Tensor ScaleBy(const Tensor& scalar, const Tensor& x);
+
+Tensor Sigmoid(const Tensor& x);
+Tensor Tanh(const Tensor& x);
+Tensor Relu(const Tensor& x);
+/// exp(x), elementwise.
+Tensor Exp(const Tensor& x);
+
+/// Horizontal concatenation [a | b] of two single-row (or same-row) tensors.
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+/// Columns [c0, c1) of x.
+Tensor SliceCols(const Tensor& x, size_t c0, size_t c1);
+
+/// Row-wise softmax (each row normalized independently).
+Tensor SoftmaxRows(const Tensor& x);
+
+/// Scalar sum of all entries.
+Tensor Sum(const Tensor& x);
+/// Mean of all entries (scalar).
+Tensor Mean(const Tensor& x);
+/// Mean squared error between same-shape tensors (scalar).
+Tensor Mse(const Tensor& a, const Tensor& b);
+/// Masked MSE: mean over all entries of (mask*(a-b))^2 — the paper's
+/// L(a, a', mask) with a constant 0/1 mask.
+Tensor MaskedMse(const Tensor& a, const Tensor& b, const la::Matrix& mask);
+/// Numerically stable binary cross-entropy with logits against constant
+/// targets in [0,1]; returns the scalar mean.
+Tensor BceWithLogits(const Tensor& logits, const la::Matrix& targets);
+
+}  // namespace rmi::ad
+
+#endif  // RMI_AUTODIFF_TENSOR_H_

@@ -1,0 +1,39 @@
+#include "clustering/clusterer.h"
+
+#include "common/check.h"
+
+namespace rmi::cluster {
+
+SampleSet BuildSampleSet(const rmap::RadioMap& map, double location_weight) {
+  SampleSet s;
+  const size_t n = map.size();
+  const size_t d = map.num_aps();
+  s.num_aps = d;
+  s.locations = map.InterpolatedRps();
+  RMI_CHECK_EQ(s.locations.size(), n);
+  s.features = la::Matrix(n, d + 2);
+  s.profiles.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<uint8_t> b = rmap::Binarization(map.record(i).rssi);
+    for (size_t j = 0; j < d; ++j) {
+      s.features(i, j) = static_cast<double>(b[j]);
+    }
+    s.features(i, d) = s.locations[i].x * location_weight;
+    s.features(i, d + 1) = s.locations[i].y * location_weight;
+    s.profiles.push_back(std::move(b));
+  }
+  return s;
+}
+
+std::vector<std::vector<size_t>> Clustering::Groups() const {
+  std::vector<std::vector<size_t>> g(k);
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    const int c = assignment[i];
+    RMI_CHECK_GE(c, 0);
+    RMI_CHECK_LT(static_cast<size_t>(c), k);
+    g[static_cast<size_t>(c)].push_back(i);
+  }
+  return g;
+}
+
+}  // namespace rmi::cluster

@@ -1,0 +1,58 @@
+// Clusterer strategy interface + the sample-set construction shared by all
+// differentiators (Algorithm 2 lines 2-5): each sample is the binarized AP
+// profile of a record concatenated with its (interpolated) RP location.
+#ifndef RMI_CLUSTERING_CLUSTERER_H_
+#define RMI_CLUSTERING_CLUSTERER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/geometry.h"
+#include "la/matrix.h"
+#include "radiomap/radio_map.h"
+
+namespace rmi::cluster {
+
+/// The clustering input built from a radio map.
+struct SampleSet {
+  /// N x (D+2): binary AP profile ⊕ location scaled by location_weight.
+  la::Matrix features;
+  /// Raw (unscaled) per-record location: observed RP or linear interpolation.
+  std::vector<geom::Point> locations;
+  /// Binary AP profiles (Algorithm 1 output), N x D.
+  std::vector<std::vector<uint8_t>> profiles;
+  size_t num_aps = 0;
+
+  size_t size() const { return locations.size(); }
+};
+
+/// Builds the sample set of Algorithm 2. `location_weight` scales meters
+/// into the unit range of the binary profile features (the paper
+/// concatenates them directly; a weight keeps the two feature families
+/// commensurate for venues tens of meters across).
+SampleSet BuildSampleSet(const rmap::RadioMap& map,
+                         double location_weight = 0.1);
+
+/// A flat clustering of the sample set.
+struct Clustering {
+  std::vector<int> assignment;  ///< cluster id per sample, in [0, k)
+  size_t k = 0;
+
+  /// Member indices per cluster.
+  std::vector<std::vector<size_t>> Groups() const;
+};
+
+/// Strategy interface: DasaKM, TopoAC, ElbowKM, DBSCAN.
+class Clusterer {
+ public:
+  virtual ~Clusterer() = default;
+  virtual Clustering Cluster(const SampleSet& samples, Rng& rng) const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace rmi::cluster
+
+#endif  // RMI_CLUSTERING_CLUSTERER_H_

@@ -1,0 +1,163 @@
+#include "clustering/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace rmi::cluster {
+
+namespace {
+
+double RowDistance(const la::Matrix& x, size_t row, const la::Matrix& centers,
+                   size_t c, bool manhattan) {
+  const size_t f = x.cols();
+  const double* xr = &x.data()[row * f];
+  const double* cr = &centers.data()[c * f];
+  double s = 0.0;
+  if (manhattan) {
+    for (size_t j = 0; j < f; ++j) s += std::fabs(xr[j] - cr[j]);
+  } else {
+    for (size_t j = 0; j < f; ++j) {
+      const double d = xr[j] - cr[j];
+      s += d * d;
+    }
+  }
+  return s;  // squared Euclidean (or L1) — monotone, fine for argmin
+}
+
+}  // namespace
+
+KMeansResult KMeans(const la::Matrix& x, const KMeansParams& params, Rng& rng) {
+  const size_t n = x.rows();
+  const size_t f = x.cols();
+  RMI_CHECK_GE(params.k, 1u);
+  RMI_CHECK_GE(n, 1u);
+  const size_t k = std::min(params.k, n);
+
+  // k-means++ seeding.
+  la::Matrix centers(k, f);
+  std::vector<double> min_d2(n, std::numeric_limits<double>::max());
+  size_t first = rng.Index(n);
+  centers.SetRow(0, x.Row(first));
+  for (size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = RowDistance(x, i, centers, c - 1, /*manhattan=*/false);
+      if (d < min_d2[i]) min_d2[i] = d;
+      total += min_d2[i];
+    }
+    size_t pick = 0;
+    if (total > 0.0) {
+      double r = rng.Uniform(0.0, total);
+      for (size_t i = 0; i < n; ++i) {
+        r -= min_d2[i];
+        if (r <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      pick = rng.Index(n);
+    }
+    centers.SetRow(c, x.Row(pick));
+  }
+
+  KMeansResult res;
+  res.assignment.assign(n, 0);
+  std::vector<size_t> counts(k);
+  for (size_t iter = 0; iter < params.max_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double d = RowDistance(x, i, centers, c, params.manhattan);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (res.assignment[i] != best_c) {
+        res.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Recompute centers.
+    centers = la::Matrix(k, f);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = static_cast<size_t>(res.assignment[i]);
+      ++counts[c];
+      for (size_t j = 0; j < f; ++j) centers(c, j) += x(i, j);
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        centers.SetRow(c, x.Row(rng.Index(n)));  // re-seed empty cluster
+        continue;
+      }
+      for (size_t j = 0; j < f; ++j) {
+        centers(c, j) /= static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  res.centers = centers;
+  res.wss = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    res.wss += RowDistance(x, i, centers,
+                           static_cast<size_t>(res.assignment[i]),
+                           /*manhattan=*/false);
+  }
+  return res;
+}
+
+std::vector<size_t> KCandidateLadder(size_t max_k) {
+  RMI_CHECK_GE(max_k, 1u);
+  std::vector<size_t> ks;
+  size_t k = 1;
+  while (k <= max_k) {
+    ks.push_back(k);
+    if (k < 8) {
+      k += 1;
+    } else if (k < 24) {
+      k += 4;
+    } else {
+      k += 8;
+    }
+  }
+  if (ks.back() != max_k) ks.push_back(max_k);
+  return ks;
+}
+
+size_t ChooseKElbow(const la::Matrix& x, const std::vector<size_t>& candidates,
+                    const KMeansParams& base, Rng& rng) {
+  RMI_CHECK_GE(candidates.size(), 1u);
+  if (candidates.size() <= 2) return candidates.back();
+  std::vector<double> wss(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    KMeansParams p = base;
+    p.k = candidates[i];
+    wss[i] = KMeans(x, p, rng).wss;
+  }
+  // Knee = max second difference, normalized by the candidate spacing.
+  size_t best = 1;
+  double best_curv = -std::numeric_limits<double>::max();
+  for (size_t i = 1; i + 1 < candidates.size(); ++i) {
+    const double left =
+        (wss[i - 1] - wss[i]) /
+        static_cast<double>(candidates[i] - candidates[i - 1]);
+    const double right =
+        (wss[i] - wss[i + 1]) /
+        static_cast<double>(candidates[i + 1] - candidates[i]);
+    const double curv = left - right;
+    if (curv > best_curv) {
+      best_curv = curv;
+      best = i;
+    }
+  }
+  return candidates[best];
+}
+
+}  // namespace rmi::cluster

@@ -1,0 +1,38 @@
+// Lightweight CHECK macros for invariant enforcement.
+//
+// Following the database-engine convention (RocksDB/Arrow style), internal
+// invariants abort with a diagnostic rather than throwing: a violated
+// invariant means the library state is no longer trustworthy.
+#ifndef RMI_COMMON_CHECK_H_
+#define RMI_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rmi {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "RMI_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace rmi
+
+/// Aborts with a diagnostic if `cond` is false. Always on (release included):
+/// the checked conditions guard data-structure invariants whose violation
+/// would silently corrupt results.
+#define RMI_CHECK(cond)                                  \
+  do {                                                   \
+    if (!(cond)) ::rmi::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+#define RMI_CHECK_EQ(a, b) RMI_CHECK((a) == (b))
+#define RMI_CHECK_NE(a, b) RMI_CHECK((a) != (b))
+#define RMI_CHECK_LT(a, b) RMI_CHECK((a) < (b))
+#define RMI_CHECK_LE(a, b) RMI_CHECK((a) <= (b))
+#define RMI_CHECK_GT(a, b) RMI_CHECK((a) > (b))
+#define RMI_CHECK_GE(a, b) RMI_CHECK((a) >= (b))
+
+#endif  // RMI_COMMON_CHECK_H_

@@ -1,0 +1,46 @@
+// Representation of missing values.
+//
+// The radio-map pipeline carries many nulls (missing RSSIs / RPs). We encode
+// them as quiet NaN inside double payloads: compact, composable with the
+// linear-algebra substrate, and impossible to confuse with a legal RSSI
+// (legal observed range is [-99, 0] dBm; MNAR fill is -100 dBm).
+#ifndef RMI_COMMON_MISSING_H_
+#define RMI_COMMON_MISSING_H_
+
+#include <cmath>
+#include <limits>
+
+namespace rmi {
+
+/// Sentinel for a missing (null) measurement.
+inline constexpr double kNull = std::numeric_limits<double>::quiet_NaN();
+
+/// True iff `v` encodes a missing value.
+inline bool IsNull(double v) { return std::isnan(v); }
+
+/// Lowest RSSI used to materialize MNAR (unobservable) signals, in dBm.
+inline constexpr double kMnarFillDbm = -100.0;
+
+/// Observable RSSI range endpoints, in dBm.
+inline constexpr double kMinObservableRssiDbm = -99.0;
+inline constexpr double kMaxObservableRssiDbm = 0.0;
+
+/// Clamps a (possibly model-predicted) RSSI into the observable range.
+inline double ClampRssi(double v) {
+  if (v < kMinObservableRssiDbm) return kMinObservableRssiDbm;
+  if (v > kMaxObservableRssiDbm) return kMaxObservableRssiDbm;
+  return v;
+}
+
+/// Clamps an *imputed* value into [-100, 0] dBm: imputers may legitimately
+/// predict the -100 dBm floor (e.g., for cells whose ground truth is an
+/// MNAR fill removed in the beta experiments of Section V-C).
+inline double ClampImputed(double v) {
+  if (v < kMnarFillDbm) return kMnarFillDbm;
+  if (v > kMaxObservableRssiDbm) return kMaxObservableRssiDbm;
+  return v;
+}
+
+}  // namespace rmi
+
+#endif  // RMI_COMMON_MISSING_H_

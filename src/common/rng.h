@@ -1,0 +1,83 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library takes an explicit `Rng&` (or a
+// seed) so that experiments are reproducible run-to-run.
+#ifndef RMI_COMMON_RNG_H_
+#define RMI_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rmi {
+
+/// Thin deterministic wrapper around std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    RMI_CHECK_LE(lo, hi);
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Standard normal scaled to (mean, stddev).
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Index in [0, n) — convenience for container access.
+  size_t Index(size_t n) {
+    RMI_CHECK_GT(n, 0u);
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Index(i)]);
+    }
+  }
+
+  /// k distinct indices sampled without replacement from [0, n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k) {
+    RMI_CHECK_LE(k, n);
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      std::swap(idx[i], idx[i + Index(n - i)]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+
+  /// Derives an independent child generator (for parallel components).
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rmi
+
+#endif  // RMI_COMMON_RNG_H_

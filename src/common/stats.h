@@ -1,0 +1,53 @@
+// Small statistics helpers shared by metrics and benches.
+#ifndef RMI_COMMON_STATS_H_
+#define RMI_COMMON_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace rmi {
+
+/// Streaming mean/variance (Welford).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector (0 for empty).
+double Mean(const std::vector<double>& v);
+
+/// Sample standard deviation (0 for size < 2).
+double Stddev(const std::vector<double>& v);
+
+/// Linear-interpolated percentile, p in [0, 100]. v need not be sorted.
+double Percentile(std::vector<double> v, double p);
+
+/// Pearson correlation of two equal-length vectors (0 if degenerate).
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace rmi
+
+#endif  // RMI_COMMON_STATS_H_

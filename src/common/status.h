@@ -1,0 +1,41 @@
+// Minimal Status type for fallible public APIs (Arrow-style).
+#ifndef RMI_COMMON_STATUS_H_
+#define RMI_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace rmi {
+
+/// Result of a fallible operation. OK by default; carries a message when not.
+class Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(Code::kInvalid, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(Code::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  const std::string& message() const { return message_; }
+
+  enum class Code { kOk = 0, kInvalid, kNotFound, kUnsupported };
+  Code code() const { return code_; }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+}  // namespace rmi
+
+#endif  // RMI_COMMON_STATUS_H_

@@ -1,0 +1,80 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace rmi {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  RMI_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  RMI_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      os << (c ? " | " : "| ");
+      os << r[c];
+      os << std::string(width[c] - r[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit_row(header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << (c ? "-|-" : "|-") << std::string(width[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ",";
+      if (r[c].find(',') != std::string::npos) {
+        os << '"' << r[c] << '"';
+      } else {
+        os << r[c];
+      }
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+void Table::MaybeWriteCsv(const std::string& name) const {
+  const char* dir = std::getenv("RMI_BENCH_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::ofstream out(std::string(dir) + "/" + name + ".csv");
+  if (out) out << ToCsv();
+}
+
+}  // namespace rmi

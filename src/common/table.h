@@ -1,0 +1,44 @@
+// Fixed-width console table printer used by the bench harness to emit the
+// paper's tables/series, plus an optional CSV mirror.
+#ifndef RMI_COMMON_TABLE_H_
+#define RMI_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace rmi {
+
+/// Accumulates rows of strings and prints an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header arity.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table (header + separator + rows).
+  std::string ToString() const;
+
+  /// Renders as CSV (RFC-4180-lite: fields with commas are quoted).
+  std::string ToCsv() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+  /// Writes the CSV mirror to `$RMI_BENCH_CSV_DIR/<name>.csv` when the
+  /// environment variable is set; no-op otherwise.
+  void MaybeWriteCsv(const std::string& name) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with `prec` digits after the point.
+  static std::string Num(double v, int prec = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rmi
+
+#endif  // RMI_COMMON_TABLE_H_

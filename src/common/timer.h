@@ -1,0 +1,29 @@
+// Monotonic wall-clock timer for imputation cost accounting (Table VII).
+#ifndef RMI_COMMON_TIMER_H_
+#define RMI_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace rmi {
+
+/// Starts on construction; ElapsedSeconds() reads without stopping.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rmi
+
+#endif  // RMI_COMMON_TIMER_H_

@@ -1,0 +1,52 @@
+// Name-based factories wiring the whole framework together — used by the
+// bench harness and the examples to build module A (differentiator),
+// module B (imputer), and module C (estimator) from the paper's labels.
+#ifndef RMI_EVAL_FACTORIES_H_
+#define RMI_EVAL_FACTORIES_H_
+
+#include <memory>
+#include <string>
+
+#include "bisim/bisim.h"
+#include "clustering/differentiation.h"
+#include "imputers/imputer.h"
+#include "indoor/venue.h"
+#include "positioning/estimators.h"
+
+namespace rmi::eval {
+
+/// Bench sizing knobs, overridable via environment variables:
+///   RMI_BENCH_SCALE  — venue AP-count scale in (0, 1] (default 0.18)
+///   RMI_BENCH_EPOCHS — neural-imputer training epochs (default 20)
+struct BenchEnv {
+  double scale = 0.18;
+  size_t epochs = 35;
+
+  static BenchEnv FromEnv();
+};
+
+/// Differentiators: "TopoAC", "DasaKM", "ElbowKM", "DBSCAN", "MAR-only",
+/// "MNAR-only". TopoAC needs the venue's wall multipolygon (`venue` must
+/// outlive the differentiator).
+std::shared_ptr<cluster::Differentiator> MakeDifferentiator(
+    const std::string& name, const indoor::Venue* venue, double eta = 0.1);
+
+/// Imputers: "CD", "LI", "SL", "MICE", "MF", "BRITS", "SSGAN", "BiSIM".
+/// `venue` provides the location normalization scale for the neural models;
+/// `env` provides the epoch budget. Variants of BiSIM for the ablations are
+/// built directly via bisim::BiSimConfig.
+std::unique_ptr<imputers::Imputer> MakeImputer(const std::string& name,
+                                               const indoor::Venue& venue,
+                                               const BenchEnv& env);
+
+/// Estimators: "KNN", "WKNN", "RF".
+std::unique_ptr<positioning::LocationEstimator> MakeEstimator(
+    const std::string& name);
+
+/// Default BiSIM configuration for a venue (normalization + epoch budget).
+bisim::BiSimConfig DefaultBiSimConfig(const indoor::Venue& venue,
+                                      const BenchEnv& env);
+
+}  // namespace rmi::eval
+
+#endif  // RMI_EVAL_FACTORIES_H_

@@ -1,0 +1,159 @@
+#include "eval/pipeline.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "eval/metrics.h"
+
+namespace rmi::eval {
+
+rmap::RadioMap DifferentiateAndImpute(
+    const rmap::RadioMap& map, const cluster::Differentiator& differentiator,
+    const imputers::Imputer& imputer, Rng& rng, double* mar_share) {
+  rmap::RadioMap working = map;
+  rmap::MaskMatrix mask = differentiator.Differentiate(working, rng);
+  if (mar_share != nullptr) *mar_share = mask.MarShareOfMissing();
+  imputers::FillMnar(&working, &mask);
+  return imputer.Impute(working, mask, rng);
+}
+
+PipelineResult RunPipeline(const rmap::RadioMap& map,
+                           const cluster::Differentiator& differentiator,
+                           const imputers::Imputer& imputer,
+                           positioning::LocationEstimator& estimator,
+                           const PipelineOptions& options) {
+  return RunPipelineMultiEstimators(map, differentiator, imputer, {&estimator},
+                                    options)[0];
+}
+
+std::vector<PipelineResult> RunPipelineMultiEstimators(
+    const rmap::RadioMap& map, const cluster::Differentiator& differentiator,
+    const imputers::Imputer& imputer,
+    const std::vector<positioning::LocationEstimator*>& estimators,
+    const PipelineOptions& options) {
+  RMI_CHECK(!estimators.empty());
+  Rng rng(options.seed);
+
+  // Select the test split among records with observed RPs.
+  std::vector<size_t> labeled;
+  for (size_t i = 0; i < map.size(); ++i) {
+    if (map.record(i).has_rp) labeled.push_back(i);
+  }
+  RMI_CHECK(!labeled.empty());
+  const size_t num_test = std::max<size_t>(
+      1, static_cast<size_t>(options.test_fraction *
+                             static_cast<double>(labeled.size())));
+  std::vector<size_t> test_indices;
+  for (size_t pick : rng.SampleWithoutReplacement(labeled.size(), num_test)) {
+    test_indices.push_back(labeled[pick]);
+  }
+
+  // Hide test RPs (records stay in the map so sequential imputers see
+  // their temporal context).
+  rmap::RadioMap working = map;
+  std::unordered_map<size_t, geom::Point> truth_by_id;
+  std::unordered_set<size_t> test_ids;
+  for (size_t i : test_indices) {
+    truth_by_id[working.record(i).id] = working.record(i).rp;
+    test_ids.insert(working.record(i).id);
+    working.record(i).has_rp = false;
+    working.record(i).rp = geom::Point{};
+  }
+
+  // A + B.
+  PipelineResult result;
+  result.num_test = test_indices.size();
+  Timer timer;
+  rmap::RadioMap imputed = DifferentiateAndImpute(
+      working, differentiator, imputer, rng, &result.mar_share);
+  result.impute_seconds = timer.ElapsedSeconds();
+
+  // Split: training radio map vs online test fingerprints.
+  rmap::RadioMap training(imputed.num_aps());
+  std::unordered_map<size_t, const rmap::Record*> imputed_by_id;
+  for (size_t i = 0; i < imputed.size(); ++i) {
+    const rmap::Record& r = imputed.record(i);
+    if (test_ids.count(r.id)) {
+      imputed_by_id[r.id] = &r;
+    } else {
+      training.Add(r);
+    }
+  }
+  RMI_CHECK(!training.empty());
+
+  // C: each estimator evaluated on the identical imputed split.
+  std::vector<PipelineResult> results;
+  for (positioning::LocationEstimator* estimator : estimators) {
+    RMI_CHECK(estimator != nullptr);
+    estimator->Fit(training, rng);
+    std::vector<geom::Point> estimates, truths;
+    for (size_t i : test_indices) {
+      const size_t id = map.record(i).id;
+      std::vector<double> fingerprint;
+      auto it = imputed_by_id.find(id);
+      if (it != imputed_by_id.end()) {
+        fingerprint = it->second->rssi;
+      } else {
+        // The imputer deleted the (null-RP) test record — CaseDeletion
+        // semantics: use the raw fingerprint with the -100 dBm fill.
+        fingerprint = map.record(i).rssi;
+        for (double& v : fingerprint) {
+          if (IsNull(v)) v = kMnarFillDbm;
+        }
+      }
+      estimates.push_back(estimator->Estimate(fingerprint));
+      truths.push_back(truth_by_id.at(id));
+    }
+    PipelineResult r = result;
+    r.ape = AveragePositioningError(estimates, truths);
+    r.errors.reserve(estimates.size());
+    for (size_t e = 0; e < estimates.size(); ++e) {
+      r.errors.push_back(geom::Distance(estimates[e], truths[e]));
+    }
+    results.push_back(r);
+  }
+  return results;
+}
+
+BetaExperimentResult RunBetaExperiment(
+    const rmap::RadioMap& map, const cluster::Differentiator& differentiator,
+    const imputers::Imputer& imputer, double beta_rssi, double beta_rp,
+    uint64_t seed) {
+  Rng rng(seed);
+  rmap::RadioMap working = map;
+  rmap::MaskMatrix mask = differentiator.Differentiate(working, rng);
+  imputers::FillMnar(&working, &mask);
+
+  // Removal follows the paper's Section V-C semantics literally: "the
+  // removal in this section is conducted after filling in all MNARs with
+  // -100 dBm" — so the removable population is every observed cell of the
+  // post-fill map, and the removed ground truth includes -100 dBm cells.
+  // Removed cells are flipped to MAR in the amended mask so imputers treat
+  // them as imputable.
+  std::vector<rmap::RemovedRssi> removed_rssi;
+  if (beta_rssi > 0.0) {
+    removed_rssi = rmap::RemoveRandomRssis(&working, beta_rssi, rng);
+    std::unordered_map<size_t, size_t> index_by_id;
+    for (size_t i = 0; i < working.size(); ++i) {
+      index_by_id[working.record(i).id] = i;
+    }
+    for (const rmap::RemovedRssi& cell : removed_rssi) {
+      mask.set(index_by_id.at(cell.record), cell.ap, rmap::MaskValue::kMar);
+    }
+  }
+  std::vector<rmap::RemovedRp> removed_rp;
+  if (beta_rp > 0.0) {
+    removed_rp = rmap::RemoveRandomRps(&working, beta_rp, rng);
+  }
+
+  const rmap::RadioMap imputed = imputer.Impute(working, mask, rng);
+
+  BetaExperimentResult result;
+  result.rssi_mae = RssiMae(imputed, removed_rssi);
+  result.rp_euclidean = RpEuclideanError(imputed, removed_rp);
+  return result;
+}
+
+}  // namespace rmi::eval

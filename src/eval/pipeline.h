@@ -1,0 +1,77 @@
+// The control-variates evaluation pipeline of paper Section V-A:
+// differentiator A + data imputer B + location estimator C.
+//
+// Positioning protocol: 10% of the records with observed RPs are held out
+// as test data (their RPs hidden but records kept in place, so sequential
+// imputers see them in context). A and B impute the whole map; the
+// non-test imputed records form the radio map for C; each test record's
+// imputed fingerprint is the online fingerprint; APE is measured against
+// the hidden RPs.
+#ifndef RMI_EVAL_PIPELINE_H_
+#define RMI_EVAL_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/differentiation.h"
+#include "common/missing.h"
+#include "imputers/imputer.h"
+#include "positioning/estimators.h"
+#include "radiomap/radio_map.h"
+
+namespace rmi::eval {
+
+struct PipelineOptions {
+  double test_fraction = 0.1;
+  uint64_t seed = 1234;
+};
+
+struct PipelineResult {
+  double ape = 0.0;             ///< average positioning error, meters
+  double impute_seconds = 0.0;  ///< differentiation + imputation wall clock
+  size_t num_test = 0;
+  double mar_share = 0.0;       ///< MAR share of missing RSSIs (diagnostic)
+  /// Per-test-point positioning errors (for CDF summaries).
+  std::vector<double> errors;
+};
+
+/// Runs A + B + C end to end on `map`. The estimator is re-fit inside.
+PipelineResult RunPipeline(const rmap::RadioMap& map,
+                           const cluster::Differentiator& differentiator,
+                           const imputers::Imputer& imputer,
+                           positioning::LocationEstimator& estimator,
+                           const PipelineOptions& options);
+
+/// Same protocol, but imputes once and evaluates several estimators on the
+/// identical imputed map (the Table VI/VIII structure: one column block per
+/// imputer, one row per estimator). Results are index-aligned with
+/// `estimators`.
+std::vector<PipelineResult> RunPipelineMultiEstimators(
+    const rmap::RadioMap& map, const cluster::Differentiator& differentiator,
+    const imputers::Imputer& imputer,
+    const std::vector<positioning::LocationEstimator*>& estimators,
+    const PipelineOptions& options);
+
+/// Differentiates + MNAR-fills + imputes `map` (no test split) and returns
+/// the complete map — the offline "radio map improvement" entry point and
+/// the shared first half of the imputation-error experiments.
+rmap::RadioMap DifferentiateAndImpute(
+    const rmap::RadioMap& map, const cluster::Differentiator& differentiator,
+    const imputers::Imputer& imputer, Rng& rng, double* mar_share = nullptr);
+
+/// Imputation-error experiment (Figs. 14-15): removes a beta fraction of
+/// observed cells *after* the MNAR fill (paper Section V-C semantics),
+/// marking them MAR in the mask, imputes, and reports the error against the
+/// removed ground truth.
+struct BetaExperimentResult {
+  double rssi_mae = 0.0;
+  double rp_euclidean = 0.0;
+};
+BetaExperimentResult RunBetaExperiment(
+    const rmap::RadioMap& map, const cluster::Differentiator& differentiator,
+    const imputers::Imputer& imputer, double beta_rssi, double beta_rp,
+    uint64_t seed);
+
+}  // namespace rmi::eval
+
+#endif  // RMI_EVAL_PIPELINE_H_

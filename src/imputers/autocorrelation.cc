@@ -1,0 +1,265 @@
+#include "imputers/autocorrelation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/missing.h"
+#include "common/stats.h"
+#include "la/matrix.h"
+
+namespace rmi::imputers {
+
+namespace {
+
+/// Assembles the working matrix: normalized RSSIs in [0,1] and RP coords
+/// scaled by `loc_scale`; `observed` marks known cells. Null RSSIs (MARs —
+/// MNARs are pre-filled by FillMnar) and missing RP coords are unobserved.
+struct WorkingMatrix {
+  la::Matrix x;          // N x (D+2)
+  std::vector<uint8_t> observed;  // row-major, same shape
+  double loc_scale = 0.0;
+
+  bool IsObserved(size_t i, size_t j) const {
+    return observed[i * x.cols() + j] != 0;
+  }
+};
+
+WorkingMatrix BuildWorking(const rmap::RadioMap& map) {
+  const size_t n = map.size();
+  const size_t d = map.num_aps();
+  WorkingMatrix w;
+  w.x = la::Matrix(n, d + 2);
+  w.observed.assign(n * (d + 2), 0);
+  // Location scale: normalize by the span of observed RPs.
+  double max_coord = 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    const rmap::Record& r = map.record(i);
+    if (r.has_rp) {
+      max_coord = std::max({max_coord, std::fabs(r.rp.x), std::fabs(r.rp.y)});
+    }
+  }
+  w.loc_scale = 1.0 / max_coord;
+  for (size_t i = 0; i < n; ++i) {
+    const rmap::Record& r = map.record(i);
+    for (size_t j = 0; j < d; ++j) {
+      if (!IsNull(r.rssi[j])) {
+        w.x(i, j) = (r.rssi[j] + 100.0) / 100.0;
+        w.observed[i * (d + 2) + j] = 1;
+      }
+    }
+    if (r.has_rp) {
+      w.x(i, d) = r.rp.x * w.loc_scale;
+      w.x(i, d + 1) = r.rp.y * w.loc_scale;
+      w.observed[i * (d + 2) + d] = 1;
+      w.observed[i * (d + 2) + d + 1] = 1;
+    }
+  }
+  return w;
+}
+
+/// Writes the filled working matrix back into a complete radio map.
+rmap::RadioMap EmitResult(const rmap::RadioMap& map, const WorkingMatrix& w) {
+  rmap::RadioMap out = map;
+  const size_t d = map.num_aps();
+  for (size_t i = 0; i < out.size(); ++i) {
+    rmap::Record& r = out.record(i);
+    for (size_t j = 0; j < d; ++j) {
+      if (IsNull(r.rssi[j])) {
+        r.rssi[j] = ClampImputed(w.x(i, j) * 100.0 - 100.0);
+      }
+    }
+    if (!r.has_rp) {
+      r.rp = geom::Point{w.x(i, d) / w.loc_scale, w.x(i, d + 1) / w.loc_scale};
+      r.has_rp = true;
+    }
+  }
+  return out;
+}
+
+/// Column means over observed cells (0 if a column has none).
+std::vector<double> ObservedColumnMeans(const WorkingMatrix& w) {
+  const size_t cols = w.x.cols();
+  std::vector<double> mean(cols, 0.0);
+  std::vector<size_t> count(cols, 0);
+  for (size_t i = 0; i < w.x.rows(); ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (w.IsObserved(i, j)) {
+        mean[j] += w.x(i, j);
+        ++count[j];
+      }
+    }
+  }
+  for (size_t j = 0; j < cols; ++j) {
+    if (count[j]) mean[j] /= static_cast<double>(count[j]);
+  }
+  return mean;
+}
+
+}  // namespace
+
+rmap::RadioMap MiceImputer::Impute(const rmap::RadioMap& map,
+                                   const rmap::MaskMatrix&, Rng& rng) const {
+  WorkingMatrix w = BuildWorking(map);
+  const size_t n = w.x.rows();
+  const size_t cols = w.x.cols();
+
+  // Initialize missing cells with column means.
+  const std::vector<double> mean = ObservedColumnMeans(w);
+  std::vector<size_t> incomplete_cols;
+  for (size_t j = 0; j < cols; ++j) {
+    bool any_missing = false, any_observed = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (w.IsObserved(i, j)) {
+        any_observed = true;
+      } else {
+        w.x(i, j) = mean[j];
+        any_missing = true;
+      }
+    }
+    if (any_missing && any_observed) incomplete_cols.push_back(j);
+  }
+  if (incomplete_cols.empty()) return EmitResult(map, w);
+
+  // Predictor selection: the columns most |corr|-related to each target,
+  // estimated once from the mean-initialized matrix.
+  auto column = [&](size_t j) {
+    std::vector<double> v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = w.x(i, j);
+    return v;
+  };
+  std::vector<std::vector<size_t>> predictors(cols);
+  if (params_.max_predictors == 0) {
+    // Standard MICE: regress each incomplete column on all others.
+    for (size_t j : incomplete_cols) {
+      for (size_t p = 0; p < cols; ++p) {
+        if (p != j) predictors[j].push_back(p);
+      }
+    }
+  } else {
+    std::vector<std::vector<double>> colv(cols);
+    for (size_t j = 0; j < cols; ++j) colv[j] = column(j);
+    for (size_t j : incomplete_cols) {
+      std::vector<std::pair<double, size_t>> scored;
+      for (size_t p = 0; p < cols; ++p) {
+        if (p == j) continue;
+        const double c = std::fabs(PearsonCorrelation(colv[j], colv[p]));
+        scored.emplace_back(c, p);
+      }
+      const size_t take = std::min(params_.max_predictors, scored.size());
+      std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                        std::greater<>());
+      for (size_t t = 0; t < take; ++t) {
+        predictors[j].push_back(scored[t].second);
+      }
+    }
+  }
+
+  // Chained equations.
+  for (size_t iter = 0; iter < params_.iterations; ++iter) {
+    std::vector<size_t> order = incomplete_cols;
+    rng.Shuffle(&order);
+    for (size_t j : order) {
+      const auto& preds = predictors[j];
+      if (preds.empty()) continue;
+      std::vector<size_t> obs_rows, mis_rows;
+      for (size_t i = 0; i < n; ++i) {
+        (w.IsObserved(i, j) ? obs_rows : mis_rows).push_back(i);
+      }
+      if (obs_rows.empty() || mis_rows.empty()) continue;
+      la::Matrix a(obs_rows.size(), preds.size() + 1);
+      la::Matrix b(obs_rows.size(), 1);
+      for (size_t r = 0; r < obs_rows.size(); ++r) {
+        a(r, 0) = 1.0;  // intercept
+        for (size_t p = 0; p < preds.size(); ++p) {
+          a(r, p + 1) = w.x(obs_rows[r], preds[p]);
+        }
+        b(r, 0) = w.x(obs_rows[r], j);
+      }
+      const la::Matrix beta = la::RidgeRegression(a, b, params_.ridge);
+      for (size_t i : mis_rows) {
+        double pred = beta(0, 0);
+        for (size_t p = 0; p < preds.size(); ++p) {
+          pred += beta(p + 1, 0) * w.x(i, preds[p]);
+        }
+        w.x(i, j) = pred;
+      }
+    }
+  }
+  return EmitResult(map, w);
+}
+
+rmap::RadioMap MatrixFactorizationImputer::Impute(const rmap::RadioMap& map,
+                                                  const rmap::MaskMatrix&,
+                                                  Rng& rng) const {
+  WorkingMatrix w = BuildWorking(map);
+  const size_t n = w.x.rows();
+  const size_t cols = w.x.cols();
+  const size_t r = params_.rank;
+
+  // Observed-cell list and global mean.
+  struct Cell {
+    uint32_t i, j;
+    double v;
+  };
+  std::vector<Cell> cells;
+  double mu = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (w.IsObserved(i, j)) {
+        cells.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j),
+                         w.x(i, j)});
+        mu += w.x(i, j);
+      }
+    }
+  }
+  if (cells.empty()) return EmitResult(map, w);
+  mu /= static_cast<double>(cells.size());
+
+  la::Matrix u = la::Matrix::Gaussian(n, r, rng, 0.05);
+  la::Matrix v = la::Matrix::Gaussian(cols, r, rng, 0.05);
+  std::vector<double> bi(n, 0.0), bj(cols, 0.0);
+
+  double prev_rmse = 1e300;
+  size_t stale = 0;
+  for (size_t epoch = 0; epoch < params_.max_epochs; ++epoch) {
+    rng.Shuffle(&cells);
+    double se = 0.0;
+    for (const Cell& c : cells) {
+      double* ui = &u.data()[c.i * r];
+      double* vj = &v.data()[c.j * r];
+      double pred = mu + bi[c.i] + bj[c.j];
+      for (size_t t = 0; t < r; ++t) pred += ui[t] * vj[t];
+      const double err = c.v - pred;
+      se += err * err;
+      bi[c.i] += params_.lr * (err - params_.reg * bi[c.i]);
+      bj[c.j] += params_.lr * (err - params_.reg * bj[c.j]);
+      for (size_t t = 0; t < r; ++t) {
+        const double uo = ui[t];
+        ui[t] += params_.lr * (err * vj[t] - params_.reg * uo);
+        vj[t] += params_.lr * (err * uo - params_.reg * vj[t]);
+      }
+    }
+    const double rmse = std::sqrt(se / static_cast<double>(cells.size()));
+    if (prev_rmse - rmse < params_.tol) {
+      if (++stale >= params_.patience) break;
+    } else {
+      stale = 0;
+    }
+    prev_rmse = rmse;
+  }
+
+  // Fill missing cells with the factorization's predictions.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (w.IsObserved(i, j)) continue;
+      double pred = mu + bi[i] + bj[j];
+      for (size_t t = 0; t < r; ++t) pred += u(i, t) * v(j, t);
+      w.x(i, j) = pred;
+    }
+  }
+  return EmitResult(map, w);
+}
+
+}  // namespace rmi::imputers

@@ -1,0 +1,66 @@
+// Neural time-series imputation baselines (paper Section V-C, Table IX):
+//  * BRITS [11] — bidirectional recurrent imputation: an LSTM per direction
+//    with feature regression, temporal-decay (time-lag) gating, and a
+//    forward/backward consistency loss. Imputes missing RSSIs only; null
+//    RPs fall back to linear interpolation (the paper's BRITS+LI variant).
+//  * SSGAN [44] — generative adversarial imputation: a GRU-based generator
+//    with temporal decay and an MLP discriminator classifying each cell as
+//    observed vs. imputed. This implementation keeps the GAN imputation
+//    core and omits the semi-supervised label classifier (our labels are
+//    the RPs, which SSGAN cannot impute; see DESIGN.md); null RPs use LI.
+#ifndef RMI_IMPUTERS_NEURAL_H_
+#define RMI_IMPUTERS_NEURAL_H_
+
+#include "imputers/imputer.h"
+
+namespace rmi::imputers {
+
+/// Shared training knobs for the neural baselines.
+struct NeuralParams {
+  size_t hidden = 24;
+  size_t seq_len = 5;
+  size_t epochs = 25;
+  /// See bisim::BiSimConfig::batch_size on the paper-vs-here trade-off.
+  size_t batch_size = 8;
+  double lr = 2e-3;
+  double grad_clip = 5.0;
+  double time_scale = 0.1;
+  uint64_t seed = 17;
+};
+
+class BritsImputer : public Imputer {
+ public:
+  BritsImputer() : params_() {}
+  explicit BritsImputer(const NeuralParams& params) : params_(params) {}
+
+  rmap::RadioMap Impute(const rmap::RadioMap& map,
+                        const rmap::MaskMatrix& amended_mask,
+                        Rng& rng) const override;
+  std::string name() const override { return "BRITS"; }
+
+ private:
+  NeuralParams params_;
+};
+
+class SsganImputer : public Imputer {
+ public:
+  struct Params : NeuralParams {
+    double adv_weight = 0.3;   ///< generator adversarial-loss weight
+    size_t disc_hidden = 32;
+  };
+
+  SsganImputer() : params_() {}
+  explicit SsganImputer(const Params& params) : params_(params) {}
+
+  rmap::RadioMap Impute(const rmap::RadioMap& map,
+                        const rmap::MaskMatrix& amended_mask,
+                        Rng& rng) const override;
+  std::string name() const override { return "SSGAN"; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace rmi::imputers
+
+#endif  // RMI_IMPUTERS_NEURAL_H_

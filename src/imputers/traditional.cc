@@ -1,0 +1,122 @@
+#include "imputers/traditional.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/missing.h"
+
+namespace rmi::imputers {
+
+void FillMissingRssiWithFloor(rmap::RadioMap* map) {
+  for (size_t i = 0; i < map->size(); ++i) {
+    for (double& v : map->record(i).rssi) {
+      if (IsNull(v)) v = kMnarFillDbm;
+    }
+  }
+}
+
+rmap::RadioMap CaseDeletionImputer::Impute(const rmap::RadioMap& map,
+                                           const rmap::MaskMatrix&,
+                                           Rng&) const {
+  rmap::RadioMap out(map.num_aps());
+  for (size_t i = 0; i < map.size(); ++i) {
+    if (!map.record(i).has_rp) continue;
+    out.Add(map.record(i));
+  }
+  FillMissingRssiWithFloor(&out);
+  return out;
+}
+
+rmap::RadioMap LinearInterpolationImputer::Impute(const rmap::RadioMap& map,
+                                                  const rmap::MaskMatrix&,
+                                                  Rng&) const {
+  rmap::RadioMap out = map;
+  const std::vector<geom::Point> rps = map.InterpolatedRps();
+  for (size_t i = 0; i < out.size(); ++i) {
+    rmap::Record& r = out.record(i);
+    if (!r.has_rp) {
+      r.rp = rps[i];
+      r.has_rp = true;
+    }
+  }
+  FillMissingRssiWithFloor(&out);
+  return out;
+}
+
+rmap::RadioMap SemiSupervisedImputer::Impute(const rmap::RadioMap& map,
+                                             const rmap::MaskMatrix&,
+                                             Rng&) const {
+  rmap::RadioMap out = map;
+  FillMissingRssiWithFloor(&out);
+  const size_t n = out.size();
+  const size_t d = out.num_aps();
+
+  std::vector<bool> labeled(n);
+  std::vector<geom::Point> rp(n);
+  std::vector<size_t> unlabeled;
+  for (size_t i = 0; i < n; ++i) {
+    labeled[i] = out.record(i).has_rp;
+    if (labeled[i]) {
+      rp[i] = out.record(i).rp;
+    } else {
+      unlabeled.push_back(i);
+    }
+  }
+  if (unlabeled.empty()) return out;
+  // Degenerate map with no labels at all: place everything at the origin.
+  if (unlabeled.size() == n) {
+    for (size_t i = 0; i < n; ++i) {
+      out.record(i).rp = geom::Point{};
+      out.record(i).has_rp = true;
+    }
+    return out;
+  }
+
+  auto dist2 = [&](size_t a, size_t b) {
+    const auto& ra = out.record(a).rssi;
+    const auto& rb = out.record(b).rssi;
+    double s = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = ra[j] - rb[j];
+      s += diff * diff;
+    }
+    return s;
+  };
+
+  std::vector<bool> inferred(n, false);
+  for (size_t round = 0; round < rounds_; ++round) {
+    std::vector<geom::Point> next_rp = rp;
+    for (size_t u : unlabeled) {
+      // k nearest among the current labeled pool (original + inferred).
+      std::vector<std::pair<double, size_t>> cand;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == u) continue;
+        if (!labeled[j] && !inferred[j]) continue;
+        cand.emplace_back(dist2(u, j), j);
+      }
+      if (cand.empty()) continue;
+      const size_t take = std::min(k_, cand.size());
+      std::partial_sort(cand.begin(), cand.begin() + take, cand.end());
+      double wsum = 0.0;
+      geom::Point acc;
+      for (size_t t = 0; t < take; ++t) {
+        const double w = 1.0 / (std::sqrt(cand[t].first) + 1e-6);
+        acc = acc + rp[cand[t].second] * w;
+        wsum += w;
+      }
+      next_rp[u] = acc * (1.0 / wsum);
+    }
+    rp = std::move(next_rp);
+    for (size_t u : unlabeled) inferred[u] = true;
+  }
+
+  for (size_t u : unlabeled) {
+    out.record(u).rp = rp[u];
+    out.record(u).has_rp = true;
+  }
+  return out;
+}
+
+}  // namespace rmi::imputers

@@ -1,0 +1,235 @@
+#include "indoor/venue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace rmi::indoor {
+
+namespace {
+
+using geom::Point;
+using geom::Polygon;
+
+/// Thin wall rectangle along one room edge, split around a door gap when
+/// `door_center` lies on this edge (door_center < 0 disables the gap).
+void AddWallWithDoor(std::vector<Polygon>* walls, bool horizontal,
+                     double fixed, double lo, double hi, double thickness,
+                     double door_center, double door_width) {
+  const double t2 = thickness / 2.0;
+  auto add = [&](double a, double b) {
+    if (b - a < 1e-9) return;
+    if (horizontal) {
+      walls->push_back(Polygon::Rectangle(a, fixed - t2, b, fixed + t2));
+    } else {
+      walls->push_back(Polygon::Rectangle(fixed - t2, a, fixed + t2, b));
+    }
+  };
+  if (door_center >= lo && door_center <= hi) {
+    const double d2 = door_width / 2.0;
+    add(lo, std::max(lo, door_center - d2));
+    add(std::min(hi, door_center + d2), hi);
+  } else {
+    add(lo, hi);
+  }
+}
+
+}  // namespace
+
+Venue GenerateVenue(const VenueSpec& spec) {
+  RMI_CHECK_GE(spec.rooms_x, 1u);
+  RMI_CHECK_GE(spec.rooms_y, 1u);
+  RMI_CHECK_GT(spec.num_aps, 0u);
+  const double room_w =
+      (spec.width - static_cast<double>(spec.rooms_x + 1) * spec.hallway_width) /
+      static_cast<double>(spec.rooms_x);
+  const double room_h =
+      (spec.height - static_cast<double>(spec.rooms_y + 1) * spec.hallway_width) /
+      static_cast<double>(spec.rooms_y);
+  RMI_CHECK_GT(room_w, 1.0);
+  RMI_CHECK_GT(room_h, 1.0);
+
+  Venue v;
+  v.name = spec.name;
+  v.width = spec.width;
+  v.height = spec.height;
+  v.bluetooth = spec.bluetooth;
+
+  Rng rng(spec.seed);
+
+  // Rooms and walls. Room (i, j) spans
+  //   x in [hw + i*(room_w+hw), hw + i*(room_w+hw) + room_w]
+  //   y in [hw + j*(room_h+hw), ... + room_h]
+  std::vector<Polygon> wall_polys;
+  const double hw = spec.hallway_width;
+  std::vector<Point> room_centers;
+  for (size_t j = 0; j < spec.rooms_y; ++j) {
+    for (size_t i = 0; i < spec.rooms_x; ++i) {
+      const double x0 = hw + static_cast<double>(i) * (room_w + hw);
+      const double y0 = hw + static_cast<double>(j) * (room_h + hw);
+      const double x1 = x0 + room_w;
+      const double y1 = y0 + room_h;
+      v.rooms.push_back(Polygon::Rectangle(x0, y0, x1, y1));
+      room_centers.push_back({(x0 + x1) / 2.0, (y0 + y1) / 2.0});
+      const double door_x = (x0 + x1) / 2.0;
+      // Bottom wall carries the door (faces the hallway below).
+      AddWallWithDoor(&wall_polys, /*horizontal=*/true, y0, x0, x1,
+                      spec.wall_thickness, door_x, spec.door_width);
+      AddWallWithDoor(&wall_polys, /*horizontal=*/true, y1, x0, x1,
+                      spec.wall_thickness, /*door_center=*/-1.0, 0.0);
+      AddWallWithDoor(&wall_polys, /*horizontal=*/false, x0, y0, y1,
+                      spec.wall_thickness, /*door_center=*/-1.0, 0.0);
+      AddWallWithDoor(&wall_polys, /*horizontal=*/false, x1, y0, y1,
+                      spec.wall_thickness, /*door_center=*/-1.0, 0.0);
+    }
+  }
+  v.walls = geom::MultiPolygon(std::move(wall_polys));
+
+  // Access points: uniform scatter, biased to hallway intersections for a
+  // few "infrastructure" APs, plus in-room APs (shops deploy their own).
+  for (size_t a = 0; a < spec.num_aps; ++a) {
+    Point p{rng.Uniform(0.5, spec.width - 0.5),
+            rng.Uniform(0.5, spec.height - 0.5)};
+    v.aps.push_back(AccessPoint{p});
+  }
+
+  // RPs along hallway centerlines. Horizontal centerline j at
+  // y = j*(room_h+hw) + hw/2, j in [0, rooms_y]; one survey path each.
+  const double margin = hw / 2.0;
+  auto add_rp = [&](Point p) -> size_t {
+    v.rps.push_back(p);
+    return v.rps.size() - 1;
+  };
+  std::vector<std::vector<size_t>> horizontal_paths(spec.rooms_y + 1);
+  for (size_t j = 0; j <= spec.rooms_y; ++j) {
+    const double y = static_cast<double>(j) * (room_h + hw) + hw / 2.0;
+    for (double x = margin; x <= spec.width - margin + 1e-9;
+         x += spec.rp_spacing) {
+      horizontal_paths[j].push_back(add_rp({x, y}));
+    }
+  }
+  std::vector<std::vector<size_t>> vertical_paths(spec.rooms_x + 1);
+  for (size_t i = 0; i <= spec.rooms_x; ++i) {
+    const double x = static_cast<double>(i) * (room_w + hw) + hw / 2.0;
+    for (double y = margin; y <= spec.height - margin + 1e-9;
+         y += spec.rp_spacing) {
+      vertical_paths[i].push_back(add_rp({x, y}));
+    }
+  }
+
+  // In-room RPs for a sampled fraction of rooms; each is visited as a detour
+  // from the hallway below the room (through the door).
+  const size_t num_rooms = room_centers.size();
+  const size_t visited =
+      static_cast<size_t>(std::round(spec.room_visit_fraction *
+                                     static_cast<double>(num_rooms)));
+  std::vector<size_t> room_order = rng.SampleWithoutReplacement(num_rooms, visited);
+  // room index -> (hallway path j, insertion handled below)
+  std::vector<std::pair<size_t, size_t>> room_rp;  // (room, rp index)
+  for (size_t r : room_order) {
+    room_rp.emplace_back(r, add_rp(room_centers[r]));
+  }
+
+  // Paths: horizontal hallway paths get detours into the visited rooms whose
+  // door opens onto them (room (i, j)'s door faces hallway j).
+  for (size_t j = 0; j <= spec.rooms_y; ++j) {
+    std::vector<size_t> path = horizontal_paths[j];
+    if (path.size() < 2) continue;
+    // Collect rooms in row j (door faces hallway centerline j).
+    std::vector<std::pair<size_t, size_t>> detours;  // (nearest path pos, rp)
+    for (const auto& [room, rp_idx] : room_rp) {
+      const size_t row = room / spec.rooms_x;
+      if (row != j) continue;  // hallway below room row `row` is hallway `row`
+      // Find the hallway RP nearest the room door (x = room center x).
+      const double door_x = room_centers[room].x;
+      size_t best = 0;
+      double best_d = 1e300;
+      for (size_t p = 0; p < path.size(); ++p) {
+        const double d = std::fabs(v.rps[path[p]].x - door_x);
+        if (d < best_d) {
+          best_d = d;
+          best = p;
+        }
+      }
+      detours.emplace_back(best, rp_idx);
+    }
+    std::sort(detours.begin(), detours.end());
+    // Build path with detours: ... rp[k], room, rp[k], ...
+    std::vector<size_t> with_detours;
+    size_t di = 0;
+    for (size_t p = 0; p < path.size(); ++p) {
+      with_detours.push_back(path[p]);
+      while (di < detours.size() && detours[di].first == p) {
+        with_detours.push_back(detours[di].second);
+        with_detours.push_back(path[p]);
+        ++di;
+      }
+    }
+    v.paths.push_back(std::move(with_detours));
+  }
+  for (auto& path : vertical_paths) {
+    if (path.size() >= 2) v.paths.push_back(std::move(path));
+  }
+
+  RMI_CHECK(!v.paths.empty());
+  RMI_CHECK(!v.rps.empty());
+  return v;
+}
+
+VenueSpec KaideSpec(double scale) {
+  RMI_CHECK_GT(scale, 0.0);
+  VenueSpec s;
+  s.name = "Kaide";
+  // Table V: 3225.7 m^2, 114 RPs (3.53 / 100 m^2), 671 APs.
+  s.width = 57.0;
+  s.height = 57.0;
+  s.rooms_x = 4;
+  s.rooms_y = 4;
+  s.hallway_width = 3.2;
+  s.num_aps = std::max<size_t>(24, static_cast<size_t>(671 * scale));
+  s.rp_spacing = 5.4;
+  s.room_visit_fraction = 0.5;
+  s.bluetooth = false;
+  s.seed = 1001;
+  return s;
+}
+
+VenueSpec WandaSpec(double scale) {
+  RMI_CHECK_GT(scale, 0.0);
+  VenueSpec s;
+  s.name = "Wanda";
+  // Table V: 4458.5 m^2, 118 RPs (2.65 / 100 m^2), 929 APs.
+  s.width = 74.0;
+  s.height = 60.0;
+  s.rooms_x = 5;
+  s.rooms_y = 4;
+  s.hallway_width = 3.4;
+  s.num_aps = std::max<size_t>(24, static_cast<size_t>(929 * scale));
+  s.rp_spacing = 6.6;
+  s.room_visit_fraction = 0.4;
+  s.bluetooth = false;
+  s.seed = 2002;
+  return s;
+}
+
+VenueSpec LonghuSpec(double scale) {
+  RMI_CHECK_GT(scale, 0.0);
+  VenueSpec s;
+  s.name = "Longhu";
+  // Table V: 6504.1 m^2, 202 RPs (3.11 / 100 m^2), 330 Bluetooth APs.
+  s.width = 85.0;
+  s.height = 76.0;
+  s.rooms_x = 5;
+  s.rooms_y = 5;
+  s.hallway_width = 3.6;
+  s.num_aps = std::max<size_t>(16, static_cast<size_t>(330 * scale));
+  s.rp_spacing = 5.8;
+  s.room_visit_fraction = 0.5;
+  s.bluetooth = true;
+  s.seed = 3003;
+  return s;
+}
+
+}  // namespace rmi::indoor

@@ -1,0 +1,86 @@
+// Indoor venue model + parametric synthetic venue generator.
+//
+// The paper evaluates on two Wi-Fi shopping malls (Kaide, Wanda) and one
+// Bluetooth venue (Longhu) from a proprietary Microsoft Research dataset.
+// This module synthesizes venues with the same structural statistics
+// (Table V): floor area, RP density, AP count, and survey-path layout.
+//
+// Layout scheme: a rooms_x x rooms_y grid of rectangular rooms separated by
+// hallways; thin wall rectangles (with door gaps) form the venue's
+// topological-entity multipolygon; reference points (RPs) are placed along
+// hallway centerlines and in a fraction of rooms; survey paths follow the
+// hallways with detours into visited rooms (cf. paper Fig. 2).
+#ifndef RMI_INDOOR_VENUE_H_
+#define RMI_INDOOR_VENUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace rmi::indoor {
+
+/// A deployed access point (Wi-Fi AP or Bluetooth beacon).
+struct AccessPoint {
+  geom::Point position;
+};
+
+/// Generator parameters.
+struct VenueSpec {
+  std::string name = "venue";
+  double width = 50.0;             ///< floor bounding box, meters
+  double height = 50.0;
+  size_t rooms_x = 4;              ///< room grid
+  size_t rooms_y = 4;
+  double hallway_width = 3.0;      ///< meters
+  double wall_thickness = 0.15;    ///< meters
+  double door_width = 1.2;         ///< gap in the hallway-facing wall
+  size_t num_aps = 100;            ///< access points scattered in the venue
+  double rp_spacing = 5.0;         ///< spacing of RPs along hallway centerlines
+  double room_visit_fraction = 0.5;///< fraction of rooms with an in-room RP
+  bool bluetooth = false;          ///< Bluetooth (vs Wi-Fi) radio profile
+  uint64_t seed = 7;               ///< AP placement / room choice seed
+};
+
+/// A generated venue: geometry, radio infrastructure, and survey paths.
+struct Venue {
+  std::string name;
+  double width = 0.0;
+  double height = 0.0;
+  bool bluetooth = false;
+
+  /// Topological entities (walls) as a multipolygon — input to TopoAC.
+  geom::MultiPolygon walls;
+  /// Room interiors (for tests/visualization/area accounting).
+  std::vector<geom::Polygon> rooms;
+  /// Deployed APs; fingerprint dimensionality D = aps.size().
+  std::vector<AccessPoint> aps;
+  /// Preselected reference points.
+  std::vector<geom::Point> rps;
+  /// Survey paths as ordered RP-index sequences (waypoints).
+  std::vector<std::vector<size_t>> paths;
+
+  double FloorArea() const { return width * height; }
+  /// RPs per 100 m^2 (Table V statistic).
+  double RpDensityPer100m2() const {
+    return FloorArea() > 0
+               ? static_cast<double>(rps.size()) / FloorArea() * 100.0
+               : 0.0;
+  }
+  size_t NumAps() const { return aps.size(); }
+};
+
+/// Generates a venue from a spec (deterministic for a fixed spec).
+Venue GenerateVenue(const VenueSpec& spec);
+
+/// Venue presets approximating the paper's Table V. `scale` in (0, 1]
+/// shrinks the AP count (and survey effort downstream) to keep CPU-only
+/// benches fast; scale = 1 targets the paper's sizes.
+VenueSpec KaideSpec(double scale = 1.0);
+VenueSpec WandaSpec(double scale = 1.0);
+VenueSpec LonghuSpec(double scale = 1.0);
+
+}  // namespace rmi::indoor
+
+#endif  // RMI_INDOOR_VENUE_H_

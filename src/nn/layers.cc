@@ -1,0 +1,102 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rmi::nn {
+
+using ad::Tensor;
+
+la::Matrix XavierInit(size_t rows, size_t cols, Rng& rng) {
+  const double bound = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  return la::Matrix::Random(rows, cols, rng, -bound, bound);
+}
+
+Linear::Linear(size_t in, size_t out, Rng& rng)
+    : w_(Tensor::Param(XavierInit(in, out, rng))),
+      b_(Tensor::Param(la::Matrix(1, out))) {}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  return ad::AddRowBroadcast(ad::MatMul(x, w_), b_);
+}
+
+LstmCell::LstmCell(size_t in, size_t hidden, Rng& rng)
+    : in_(in), hidden_(hidden),
+      w_(Tensor::Param(XavierInit(in + hidden, 4 * hidden, rng))) {
+  la::Matrix b(1, 4 * hidden);
+  for (size_t j = hidden; j < 2 * hidden; ++j) b(0, j) = 1.0;  // forget gate
+  b_ = Tensor::Param(std::move(b));
+}
+
+LstmCell::State LstmCell::InitialState() const {
+  return {Tensor::Constant(la::Matrix(1, hidden_)),
+          Tensor::Constant(la::Matrix(1, hidden_))};
+}
+
+LstmCell::State LstmCell::Forward(const Tensor& x, const State& prev) const {
+  RMI_CHECK_EQ(x.cols(), in_);
+  Tensor xh = ad::ConcatCols(x, prev.h);
+  Tensor gates = ad::AddRowBroadcast(ad::MatMul(xh, w_), b_);
+  Tensor i = ad::Sigmoid(ad::SliceCols(gates, 0, hidden_));
+  Tensor f = ad::Sigmoid(ad::SliceCols(gates, hidden_, 2 * hidden_));
+  Tensor g = ad::Tanh(ad::SliceCols(gates, 2 * hidden_, 3 * hidden_));
+  Tensor o = ad::Sigmoid(ad::SliceCols(gates, 3 * hidden_, 4 * hidden_));
+  Tensor c = ad::Add(ad::Mul(f, prev.c), ad::Mul(i, g));
+  Tensor h = ad::Mul(o, ad::Tanh(c));
+  return {h, c};
+}
+
+GruCell::GruCell(size_t in, size_t hidden, Rng& rng)
+    : in_(in), hidden_(hidden),
+      wz_(Tensor::Param(XavierInit(in + hidden, hidden, rng))),
+      wr_(Tensor::Param(XavierInit(in + hidden, hidden, rng))),
+      wh_(Tensor::Param(XavierInit(in + hidden, hidden, rng))),
+      bz_(Tensor::Param(la::Matrix(1, hidden))),
+      br_(Tensor::Param(la::Matrix(1, hidden))),
+      bh_(Tensor::Param(la::Matrix(1, hidden))) {}
+
+Tensor GruCell::InitialState() const {
+  return Tensor::Constant(la::Matrix(1, hidden_));
+}
+
+Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
+  RMI_CHECK_EQ(x.cols(), in_);
+  Tensor xh = ad::ConcatCols(x, h);
+  Tensor z = ad::Sigmoid(ad::AddRowBroadcast(ad::MatMul(xh, wz_), bz_));
+  Tensor r = ad::Sigmoid(ad::AddRowBroadcast(ad::MatMul(xh, wr_), br_));
+  Tensor xrh = ad::ConcatCols(x, ad::Mul(r, h));
+  Tensor hb = ad::Tanh(ad::AddRowBroadcast(ad::MatMul(xrh, wh_), bh_));
+  // h' = (1-z) * h + z * hb
+  Tensor one_minus_z = ad::Sub(Tensor::Constant(la::Matrix(1, hidden_, 1.0)), z);
+  return ad::Add(ad::Mul(one_minus_z, h), ad::Mul(z, hb));
+}
+
+Mlp::Mlp(const std::vector<size_t>& dims, Rng& rng) {
+  RMI_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = ad::Tanh(h);
+  }
+  return h;
+}
+
+std::vector<Tensor> Mlp::Params() const {
+  std::vector<Tensor> out;
+  for (const Linear& l : layers_) AppendParams(&out, l.Params());
+  return out;
+}
+
+void AppendParams(std::vector<ad::Tensor>* into,
+                  const std::vector<ad::Tensor>& extra) {
+  into->insert(into->end(), extra.begin(), extra.end());
+}
+
+}  // namespace rmi::nn

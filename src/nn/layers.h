@@ -1,0 +1,103 @@
+// Neural-network building blocks over the autodiff substrate: Linear, LSTM
+// and GRU cells, and a small MLP. Used by BiSIM (core), BRITS, and SSGAN.
+#ifndef RMI_NN_LAYERS_H_
+#define RMI_NN_LAYERS_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "autodiff/tensor.h"
+#include "common/rng.h"
+
+namespace rmi::nn {
+
+/// Xavier/Glorot uniform initialization for a (rows x cols) weight.
+la::Matrix XavierInit(size_t rows, size_t cols, Rng& rng);
+
+/// Dense affine layer y = x W + b, x: N x in, W: in x out.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(size_t in, size_t out, Rng& rng);
+
+  ad::Tensor Forward(const ad::Tensor& x) const;
+  std::vector<ad::Tensor> Params() const { return {w_, b_}; }
+
+  size_t in() const { return w_.rows(); }
+  size_t out() const { return w_.cols(); }
+
+ private:
+  ad::Tensor w_;
+  ad::Tensor b_;
+};
+
+/// Standard LSTM cell (used by the BRITS baseline); state is (h, c),
+/// both 1 x hidden.
+class LstmCell {
+ public:
+  LstmCell() = default;
+  LstmCell(size_t in, size_t hidden, Rng& rng);
+
+  struct State {
+    ad::Tensor h;
+    ad::Tensor c;
+  };
+
+  /// One step: x is 1 x in.
+  State Forward(const ad::Tensor& x, const State& prev) const;
+  /// Zero initial state.
+  State InitialState() const;
+
+  std::vector<ad::Tensor> Params() const { return {w_, b_}; }
+  size_t hidden() const { return hidden_; }
+
+ private:
+  size_t in_ = 0;
+  size_t hidden_ = 0;
+  ad::Tensor w_;  ///< (in + hidden) x 4*hidden, gate order [i, f, g, o]
+  ad::Tensor b_;  ///< 1 x 4*hidden (forget-gate slice initialized to 1)
+};
+
+/// Standard GRU cell (used by the SSGAN generator).
+class GruCell {
+ public:
+  GruCell() = default;
+  GruCell(size_t in, size_t hidden, Rng& rng);
+
+  /// One step: x is 1 x in, h is 1 x hidden.
+  ad::Tensor Forward(const ad::Tensor& x, const ad::Tensor& h) const;
+  ad::Tensor InitialState() const;
+
+  std::vector<ad::Tensor> Params() const { return {wz_, wr_, wh_, bz_, br_, bh_}; }
+  size_t hidden() const { return hidden_; }
+
+ private:
+  size_t in_ = 0;
+  size_t hidden_ = 0;
+  ad::Tensor wz_, wr_, wh_;  ///< (in + hidden) x hidden each
+  ad::Tensor bz_, br_, bh_;
+};
+
+/// Multilayer perceptron with tanh activations between layers (no
+/// activation after the last layer).
+class Mlp {
+ public:
+  Mlp() = default;
+  /// dims = {in, h1, ..., out}.
+  Mlp(const std::vector<size_t>& dims, Rng& rng);
+
+  ad::Tensor Forward(const ad::Tensor& x) const;
+  std::vector<ad::Tensor> Params() const;
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+/// Convenience: appends `extra` parameter handles to `into`.
+void AppendParams(std::vector<ad::Tensor>* into,
+                  const std::vector<ad::Tensor>& extra);
+
+}  // namespace rmi::nn
+
+#endif  // RMI_NN_LAYERS_H_

@@ -1,0 +1,178 @@
+#include "positioning/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/missing.h"
+
+namespace rmi::positioning {
+
+namespace {
+
+/// Extracts complete feature vectors + RP labels from an imputed map.
+void ExtractTrainingData(const rmap::RadioMap& map,
+                         std::vector<std::vector<double>>* features,
+                         std::vector<geom::Point>* labels) {
+  features->clear();
+  labels->clear();
+  for (size_t i = 0; i < map.size(); ++i) {
+    const rmap::Record& r = map.record(i);
+    if (!r.has_rp) continue;  // estimators need labeled rows
+    for (double v : r.rssi) RMI_CHECK(!IsNull(v));
+    features->push_back(r.rssi);
+    labels->push_back(r.rp);
+  }
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    const double d = a[j] - b[j];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+void KnnEstimator::Fit(const rmap::RadioMap& map, Rng&) {
+  ExtractTrainingData(map, &features_, &labels_);
+  RMI_CHECK(!features_.empty());
+}
+
+geom::Point KnnEstimator::Estimate(
+    const std::vector<double>& fingerprint) const {
+  RMI_CHECK(!features_.empty());
+  RMI_CHECK_EQ(fingerprint.size(), features_[0].size());
+  std::vector<std::pair<double, size_t>> dist;
+  dist.reserve(features_.size());
+  for (size_t i = 0; i < features_.size(); ++i) {
+    dist.emplace_back(SquaredDistance(fingerprint, features_[i]), i);
+  }
+  const size_t take = std::min(k_, dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + take, dist.end());
+  geom::Point acc;
+  double wsum = 0.0;
+  for (size_t t = 0; t < take; ++t) {
+    const double w =
+        weighted_ ? 1.0 / (std::sqrt(dist[t].first) + 1e-6) : 1.0;
+    acc = acc + labels_[dist[t].second] * w;
+    wsum += w;
+  }
+  return acc * (1.0 / wsum);
+}
+
+void RandomForestEstimator::Fit(const rmap::RadioMap& map, Rng& rng) {
+  ExtractTrainingData(map, &features_, &labels_);
+  RMI_CHECK(!features_.empty());
+  trees_.clear();
+  const size_t n = features_.size();
+  for (size_t t = 0; t < params_.num_trees; ++t) {
+    // Bootstrap sample.
+    std::vector<size_t> rows(n);
+    for (size_t i = 0; i < n; ++i) rows[i] = rng.Index(n);
+    Tree tree;
+    BuildNode(&tree, rows, 0, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+int RandomForestEstimator::BuildNode(Tree* tree,
+                                     const std::vector<size_t>& rows,
+                                     size_t depth, Rng& rng) {
+  auto mean_of = [&](const std::vector<size_t>& rs) {
+    geom::Point m;
+    for (size_t r : rs) m = m + labels_[r];
+    return m * (1.0 / static_cast<double>(rs.size()));
+  };
+  auto variance_of = [&](const std::vector<size_t>& rs) {
+    if (rs.size() < 2) return 0.0;
+    const geom::Point m = mean_of(rs);
+    double v = 0.0;
+    for (size_t r : rs) v += geom::SquaredDistance(labels_[r], m);
+    return v;  // un-normalized total variance: fine for split comparison
+  };
+
+  const int node_id = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+
+  const bool make_leaf = depth >= params_.max_depth ||
+                         rows.size() <= 2 * params_.min_leaf ||
+                         variance_of(rows) < 1e-9;
+  if (!make_leaf) {
+    const size_t d = features_[0].size();
+    const size_t mtry = params_.features_per_split
+                            ? params_.features_per_split
+                            : std::max<size_t>(1, static_cast<size_t>(
+                                                      std::sqrt(double(d))));
+    double best_gain = 0.0;
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    const double parent_var = variance_of(rows);
+    for (size_t trial = 0; trial < mtry; ++trial) {
+      const size_t f = rng.Index(d);
+      // Candidate thresholds: a few random value quantiles.
+      for (int q = 0; q < 3; ++q) {
+        const double threshold = features_[rows[rng.Index(rows.size())]][f];
+        std::vector<size_t> left, right;
+        for (size_t r : rows) {
+          (features_[r][f] <= threshold ? left : right).push_back(r);
+        }
+        if (left.size() < params_.min_leaf || right.size() < params_.min_leaf) {
+          continue;
+        }
+        const double gain = parent_var - variance_of(left) - variance_of(right);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_threshold = threshold;
+        }
+      }
+    }
+    if (best_feature >= 0) {
+      std::vector<size_t> left, right;
+      for (size_t r : rows) {
+        (features_[r][static_cast<size_t>(best_feature)] <= best_threshold
+             ? left
+             : right)
+            .push_back(r);
+      }
+      const int l = BuildNode(tree, left, depth + 1, rng);
+      const int r = BuildNode(tree, right, depth + 1, rng);
+      TreeNode& node = tree->nodes[static_cast<size_t>(node_id)];
+      node.feature = best_feature;
+      node.threshold = best_threshold;
+      node.left = l;
+      node.right = r;
+      return node_id;
+    }
+  }
+  tree->nodes[static_cast<size_t>(node_id)].prediction = mean_of(rows);
+  return node_id;
+}
+
+geom::Point RandomForestEstimator::PredictTree(
+    const Tree& tree, const std::vector<double>& fingerprint) const {
+  int cur = 0;
+  while (tree.nodes[static_cast<size_t>(cur)].feature >= 0) {
+    const TreeNode& n = tree.nodes[static_cast<size_t>(cur)];
+    cur = fingerprint[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
+                                                                     : n.right;
+  }
+  return tree.nodes[static_cast<size_t>(cur)].prediction;
+}
+
+geom::Point RandomForestEstimator::Estimate(
+    const std::vector<double>& fingerprint) const {
+  RMI_CHECK(!trees_.empty());
+  geom::Point acc;
+  for (const Tree& t : trees_) {
+    acc = acc + PredictTree(t, fingerprint);
+  }
+  return acc * (1.0 / static_cast<double>(trees_.size()));
+}
+
+}  // namespace rmi::positioning

@@ -1,0 +1,94 @@
+// Online location estimation (module C, paper Section II-A):
+//  * KNN  [57] — mean of the K nearest fingerprints' RPs;
+//  * WKNN [19] — inverse-distance-weighted mean;
+//  * RF   [28] — random-forest regression from fingerprint to (x, y).
+//
+// Estimators consume a *complete* radio map (the imputers' output contract)
+// and complete online fingerprints.
+#ifndef RMI_POSITIONING_ESTIMATORS_H_
+#define RMI_POSITIONING_ESTIMATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/geometry.h"
+#include "radiomap/radio_map.h"
+
+namespace rmi::positioning {
+
+class LocationEstimator {
+ public:
+  virtual ~LocationEstimator() = default;
+
+  /// Builds the estimator from an imputed radio map.
+  virtual void Fit(const rmap::RadioMap& map, Rng& rng) = 0;
+
+  /// Estimates the location of one online fingerprint (length D, complete).
+  virtual geom::Point Estimate(const std::vector<double>& fingerprint) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// KNN / WKNN (weighted = inverse distance).
+class KnnEstimator : public LocationEstimator {
+ public:
+  explicit KnnEstimator(size_t k = 3, bool weighted = false)
+      : k_(k), weighted_(weighted) {}
+
+  void Fit(const rmap::RadioMap& map, Rng& rng) override;
+  geom::Point Estimate(const std::vector<double>& fingerprint) const override;
+  std::string name() const override { return weighted_ ? "WKNN" : "KNN"; }
+
+ private:
+  size_t k_;
+  bool weighted_;
+  std::vector<std::vector<double>> features_;
+  std::vector<geom::Point> labels_;
+};
+
+/// Random-forest regression (CART trees, bagging, feature subsampling,
+/// variance-reduction splits on the combined x/y variance).
+class RandomForestEstimator : public LocationEstimator {
+ public:
+  struct Params {
+    size_t num_trees = 20;
+    size_t max_depth = 12;
+    size_t min_leaf = 3;
+    /// Features tried per split; 0 = sqrt(D).
+    size_t features_per_split = 0;
+  };
+
+  RandomForestEstimator() : params_() {}
+  explicit RandomForestEstimator(const Params& params) : params_(params) {}
+
+  void Fit(const rmap::RadioMap& map, Rng& rng) override;
+  geom::Point Estimate(const std::vector<double>& fingerprint) const override;
+  std::string name() const override { return "RF"; }
+
+ private:
+  struct TreeNode {
+    int feature = -1;       ///< -1 marks a leaf
+    double threshold = 0.0;
+    int left = -1, right = -1;
+    geom::Point prediction;
+  };
+  struct Tree {
+    std::vector<TreeNode> nodes;
+  };
+
+  int BuildNode(Tree* tree, const std::vector<size_t>& rows, size_t depth,
+                Rng& rng);
+  geom::Point PredictTree(const Tree& tree,
+                          const std::vector<double>& fingerprint) const;
+
+  Params params_;
+  std::vector<std::vector<double>> features_;
+  std::vector<geom::Point> labels_;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace rmi::positioning
+
+#endif  // RMI_POSITIONING_ESTIMATORS_H_

@@ -1,0 +1,102 @@
+#include "radio/propagation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/missing.h"
+
+namespace rmi::radio {
+
+PropagationModel::PropagationModel(const indoor::Venue* venue,
+                                   PropagationParams params)
+    : venue_(venue), params_(params) {
+  RMI_CHECK(venue_ != nullptr);
+  RMI_CHECK(!venue_->aps.empty());
+}
+
+namespace {
+
+/// SplitMix64 — cheap stateless hash for the deterministic fading field.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash -> approximately standard normal (sum of 4 uniforms, CLT; exact
+/// distribution is irrelevant — we only need a static bounded fading field).
+double HashGaussian(uint64_t h) {
+  double s = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    h = Mix(h);
+    s += static_cast<double>(h >> 11) / 9007199254740992.0;  // [0,1)
+  }
+  return (s - 2.0) * std::sqrt(3.0);  // var(U)=1/12, 4 terms => sd=1/sqrt(3)
+}
+
+}  // namespace
+
+double PropagationModel::Shadowing(size_t ap, const geom::Point& p) const {
+  const int64_t cx = static_cast<int64_t>(std::floor(p.x / params_.shadowing_cell_m));
+  const int64_t cy = static_cast<int64_t>(std::floor(p.y / params_.shadowing_cell_m));
+  uint64_t h = params_.seed;
+  h = Mix(h ^ static_cast<uint64_t>(ap) * 0x100000001b3ULL);
+  h = Mix(h ^ static_cast<uint64_t>(cx + (1LL << 32)));
+  h = Mix(h ^ static_cast<uint64_t>(cy + (1LL << 32)));
+  return HashGaussian(h) * params_.shadowing_stddev;
+}
+
+int PropagationModel::WallCrossings(size_t ap, const geom::Point& p) const {
+  // Quantize to the shadowing cell: wall-crossing counts vary slowly in
+  // space, and memoization turns dataset generation from minutes to
+  // milliseconds for repeated visits along survey paths.
+  const int64_t cx = static_cast<int64_t>(std::floor(p.x / params_.shadowing_cell_m));
+  const int64_t cy = static_cast<int64_t>(std::floor(p.y / params_.shadowing_cell_m));
+  const uint64_t key = (static_cast<uint64_t>(ap) << 40) ^
+                       (static_cast<uint64_t>(cx & 0xFFFFF) << 20) ^
+                       static_cast<uint64_t>(cy & 0xFFFFF);
+  auto it = wall_cache_.find(key);
+  if (it != wall_cache_.end()) return it->second;
+  const geom::Point cell_center{
+      (static_cast<double>(cx) + 0.5) * params_.shadowing_cell_m,
+      (static_cast<double>(cy) + 0.5) * params_.shadowing_cell_m};
+  const int walls = venue_->walls.CountEdgeCrossings(
+      geom::Segment{cell_center, venue_->aps[ap].position});
+  wall_cache_.emplace(key, walls);
+  return walls;
+}
+
+double PropagationModel::MeanRssi(size_t ap, const geom::Point& p) const {
+  RMI_CHECK_LT(ap, venue_->aps.size());
+  const geom::Point& q = venue_->aps[ap].position;
+  const double d = std::max(1.0, geom::Distance(p, q));
+  const int walls = WallCrossings(ap, p);
+  return params_.tx_power_1m_dbm -
+         10.0 * params_.path_loss_exponent * std::log10(d) -
+         params_.wall_attenuation_dbm * static_cast<double>(walls) +
+         Shadowing(ap, p);
+}
+
+bool PropagationModel::IsObservable(size_t ap, const geom::Point& p) const {
+  return MeanRssi(ap, p) >= params_.sensitivity_dbm;
+}
+
+double PropagationModel::SampleRssi(size_t ap, const geom::Point& p,
+                                    Rng& rng) const {
+  const double v = MeanRssi(ap, p) + rng.Gaussian(0.0, params_.noise_stddev);
+  return ClampRssi(v);
+}
+
+double PropagationModel::ObservableFraction() const {
+  size_t obs = 0, total = 0;
+  for (const geom::Point& rp : venue_->rps) {
+    for (size_t ap = 0; ap < venue_->aps.size(); ++ap) {
+      ++total;
+      if (IsObservable(ap, rp)) ++obs;
+    }
+  }
+  return total ? static_cast<double>(obs) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace rmi::radio

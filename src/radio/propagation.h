@@ -1,0 +1,97 @@
+// Radio signal propagation simulator.
+//
+// Substitutes for the real-world wireless environment behind the paper's
+// walking-survey data. RSSI follows the standard log-distance path-loss
+// model with per-wall attenuation and static log-normal shadow fading:
+//
+//   RSSI(ap, p) = P1m - 10 n log10(max(d, d0)) - Lw * walls(ap, p) + S(ap, p)
+//
+// with d the AP-to-p distance, walls(.) the number of wall-edge crossings of
+// the line-of-sight segment, and S a deterministic (seeded) per-(AP, cell)
+// shadowing term so that repeated visits to the same location see the same
+// static environment.
+//
+// The two missingness mechanisms of the paper arise from first principles:
+//  * MNAR: mean RSSI below the device sensitivity — the AP is unobservable
+//    at that location (spatially clustered, cf. paper Fig. 3).
+//  * MAR:  a per-measurement Bernoulli drop of an otherwise observable AP
+//    (temporary obstacles, lost contact).
+#ifndef RMI_RADIO_PROPAGATION_H_
+#define RMI_RADIO_PROPAGATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/geometry.h"
+#include "indoor/venue.h"
+
+namespace rmi::radio {
+
+/// Propagation constants; defaults model Wi-Fi in a mall.
+struct PropagationParams {
+  double tx_power_1m_dbm = -40.0;   ///< mean RSSI at 1 m
+  double path_loss_exponent = 3.2;
+  double wall_attenuation_dbm = 7.0;///< per crossed wall edge
+  double shadowing_stddev = 3.5;    ///< static per-(AP, cell) fading
+  double shadowing_cell_m = 2.0;    ///< spatial granularity of fading
+  double noise_stddev = 1.8;        ///< per-measurement noise
+  double sensitivity_dbm = -90.0;   ///< below => unobservable (MNAR)
+  double mar_drop_prob = 0.10;      ///< per-measurement random drop (MAR)
+  uint64_t seed = 99;               ///< shadowing seed
+
+  /// Bluetooth beacons: weaker TX, lossier propagation, deafer receivers.
+  static PropagationParams Bluetooth() {
+    PropagationParams p;
+    p.tx_power_1m_dbm = -50.0;
+    p.path_loss_exponent = 3.1;
+    p.wall_attenuation_dbm = 7.0;
+    p.sensitivity_dbm = -90.0;
+    p.noise_stddev = 2.5;
+    p.mar_drop_prob = 0.10;
+    return p;
+  }
+};
+
+/// Deterministic radio environment over a venue.
+class PropagationModel {
+ public:
+  PropagationModel(const indoor::Venue* venue, PropagationParams params);
+
+  /// Mean (noise-free) RSSI of AP `ap` at point `p`, un-clamped dBm.
+  double MeanRssi(size_t ap, const geom::Point& p) const;
+
+  /// True iff AP `ap` is observable at `p` (mean RSSI >= sensitivity).
+  bool IsObservable(size_t ap, const geom::Point& p) const;
+
+  /// One measurement: mean + iid noise, clamped to [-99, 0] dBm.
+  /// Precondition: IsObservable(ap, p).
+  double SampleRssi(size_t ap, const geom::Point& p, Rng& rng) const;
+
+  /// Whether a single measurement of an observable AP is randomly dropped.
+  bool SampleMarDrop(Rng& rng) const { return rng.Bernoulli(params_.mar_drop_prob); }
+
+  const PropagationParams& params() const { return params_; }
+  const indoor::Venue& venue() const { return *venue_; }
+  size_t num_aps() const { return venue_->aps.size(); }
+
+  /// Fraction of (RP, AP) pairs observable — sparsity diagnostic.
+  double ObservableFraction() const;
+
+ private:
+  /// Static shadow fading for (ap, spatial cell of p): hash-seeded Gaussian.
+  double Shadowing(size_t ap, const geom::Point& p) const;
+
+  /// Wall crossings between AP `ap` and the center of p's spatial cell,
+  /// memoized — the dominant cost of dataset generation otherwise.
+  int WallCrossings(size_t ap, const geom::Point& p) const;
+
+  const indoor::Venue* venue_;  // not owned
+  PropagationParams params_;
+  mutable std::unordered_map<uint64_t, int> wall_cache_;
+};
+
+}  // namespace rmi::radio
+
+#endif  // RMI_RADIO_PROPAGATION_H_

@@ -1,0 +1,121 @@
+#include "radiomap/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/missing.h"
+
+namespace rmi::rmap {
+
+namespace {
+
+constexpr char kHeaderPrefix[] = "# rmi-radio-map v1 num_aps=";
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string RadioMapToCsv(const RadioMap& map) {
+  std::ostringstream os;
+  os << kHeaderPrefix << map.num_aps() << "\n";
+  os << "id,path_id,time,rp_x,rp_y";
+  for (size_t j = 0; j < map.num_aps(); ++j) os << ",r" << j;
+  os << "\n";
+  for (size_t i = 0; i < map.size(); ++i) {
+    const Record& r = map.record(i);
+    os << r.id << "," << r.path_id << "," << FormatDouble(r.time) << ",";
+    if (r.has_rp) {
+      os << FormatDouble(r.rp.x) << "," << FormatDouble(r.rp.y);
+    } else {
+      os << ",";
+    }
+    for (size_t j = 0; j < map.num_aps(); ++j) {
+      os << ",";
+      if (!IsNull(r.rssi[j])) os << FormatDouble(r.rssi[j]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status RadioMapFromCsv(const std::string& csv, RadioMap* out) {
+  if (out == nullptr) return Status::Invalid("null output map");
+  std::istringstream is(csv);
+  std::string line;
+  if (!std::getline(is, line)) return Status::Invalid("empty input");
+  if (line.rfind(kHeaderPrefix, 0) != 0) {
+    return Status::Invalid("missing rmi-radio-map header");
+  }
+  const long num_aps = std::atol(line.c_str() + sizeof(kHeaderPrefix) - 1);
+  if (num_aps <= 0) return Status::Invalid("bad num_aps in header");
+  const size_t d = static_cast<size_t>(num_aps);
+  if (!std::getline(is, line)) return Status::Invalid("missing column header");
+
+  *out = RadioMap(d);
+  size_t line_no = 2;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = SplitCsvLine(line);
+    if (fields.size() != 5 + d) {
+      return Status::Invalid("line " + std::to_string(line_no) + ": expected " +
+                             std::to_string(5 + d) + " fields, got " +
+                             std::to_string(fields.size()));
+    }
+    Record r;
+    r.id = static_cast<size_t>(std::strtoull(fields[0].c_str(), nullptr, 10));
+    r.path_id = static_cast<size_t>(std::strtoull(fields[1].c_str(), nullptr, 10));
+    r.time = std::atof(fields[2].c_str());
+    if (!fields[3].empty() && !fields[4].empty()) {
+      r.has_rp = true;
+      r.rp = geom::Point{std::atof(fields[3].c_str()),
+                         std::atof(fields[4].c_str())};
+    } else if (fields[3].empty() != fields[4].empty()) {
+      return Status::Invalid("line " + std::to_string(line_no) +
+                             ": half-specified RP");
+    }
+    r.rssi.assign(d, kNull);
+    for (size_t j = 0; j < d; ++j) {
+      if (!fields[5 + j].empty()) r.rssi[j] = std::atof(fields[5 + j].c_str());
+    }
+    out->Add(std::move(r));
+  }
+  return Status::Ok();
+}
+
+Status SaveRadioMapCsv(const RadioMap& map, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::Invalid("cannot open for writing: " + path);
+  f << RadioMapToCsv(map);
+  return f ? Status::Ok() : Status::Invalid("write failed: " + path);
+}
+
+Status LoadRadioMapCsv(const std::string& path, RadioMap* out) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("cannot open: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return RadioMapFromCsv(ss.str(), out);
+}
+
+}  // namespace rmi::rmap

@@ -1,0 +1,327 @@
+#include "survey/survey.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/missing.h"
+
+namespace rmi::survey {
+
+namespace {
+
+using geom::Point;
+
+/// Emits the RSSI scan at `pos`: every observable AP that survives the MAR
+/// drop contributes one measurement.
+std::vector<std::pair<size_t, double>> Scan(
+    const radio::PropagationModel& model, const Point& pos, Rng& rng) {
+  std::vector<std::pair<size_t, double>> out;
+  for (size_t ap = 0; ap < model.num_aps(); ++ap) {
+    if (!model.IsObservable(ap, pos)) continue;  // MNAR mechanism
+    if (model.SampleMarDrop(rng)) continue;      // MAR mechanism
+    out.emplace_back(ap, model.SampleRssi(ap, pos, rng));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<PathRecordTable> SimulateSurvey(
+    const indoor::Venue& venue, const radio::PropagationModel& model,
+    const SurveySpec& spec, Rng& rng) {
+  RMI_CHECK_GE(spec.rounds, 1u);
+  RMI_CHECK_GT(spec.walk_speed_mps, 0.0);
+  RMI_CHECK_GT(spec.scan_interval_s, 0.0);
+  std::vector<PathRecordTable> tables;
+  size_t next_path_id = 0;
+  for (size_t round = 0; round < spec.rounds; ++round) {
+    for (const std::vector<size_t>& waypoints : venue.paths) {
+      if (waypoints.size() < 2) continue;
+      PathRecordTable table;
+      table.path_id = next_path_id++;
+      double t = 0.0;
+      double next_scan =
+          rng.Uniform(0.0, spec.scan_interval_s);  // desynchronize scans
+      Point pos = venue.rps[waypoints[0]];
+
+      auto maybe_mark_rp = [&](size_t rp_idx) {
+        if (!rng.Bernoulli(spec.rp_mark_prob)) return;
+        if (spec.rp_keep_fraction < 1.0 &&
+            !rng.Bernoulli(spec.rp_keep_fraction)) {
+          return;  // RP-density scaling (Fig. 16): thin RP records
+        }
+        SurveyRecord r;
+        r.time = t;
+        r.is_rp = true;
+        r.rp = venue.rps[rp_idx];
+        r.true_position = venue.rps[rp_idx];
+        table.records.push_back(std::move(r));
+      };
+
+      maybe_mark_rp(waypoints[0]);
+      // Walks one straight sub-segment, firing scans along it.
+      auto walk_segment = [&](const Point& from, const Point& to) {
+        const double leg = geom::Distance(from, to);
+        const double speed =
+            spec.walk_speed_mps *
+            (1.0 + rng.Uniform(-spec.speed_jitter, spec.speed_jitter));
+        const double leg_time = leg / std::max(speed, 0.1);
+        const double t_end = t + leg_time;
+        while (next_scan <= t_end) {
+          const double frac = leg_time > 0 ? (next_scan - t) / leg_time : 0.0;
+          const Point p = from + (to - from) * std::clamp(frac, 0.0, 1.0);
+          SurveyRecord r;
+          r.time = next_scan;
+          r.is_rp = false;
+          r.rssi = Scan(model, p, rng);
+          r.true_position = p;
+          table.records.push_back(std::move(r));
+          next_scan += spec.scan_interval_s +
+                       rng.Uniform(-spec.scan_jitter_s, spec.scan_jitter_s);
+        }
+        t = t_end;
+        pos = to;
+      };
+      // Pauses in place (scans keep firing while standing still).
+      auto dwell = [&](double duration) {
+        const double t_end = t + duration;
+        while (next_scan <= t_end) {
+          SurveyRecord r;
+          r.time = next_scan;
+          r.is_rp = false;
+          r.rssi = Scan(model, pos, rng);
+          r.true_position = pos;
+          table.records.push_back(std::move(r));
+          next_scan += spec.scan_interval_s +
+                       rng.Uniform(-spec.scan_jitter_s, spec.scan_jitter_s);
+        }
+        t = t_end;
+      };
+
+      for (size_t w = 1; w < waypoints.size(); ++w) {
+        const Point from = pos;
+        const Point to = venue.rps[waypoints[w]];
+        // Lateral wander: walk via a mid-leg point offset perpendicular to
+        // the leg, with independent speed jitter per half (non-linear
+        // position-vs-time, like a real surveyor).
+        const double leg = geom::Distance(from, to);
+        if (spec.wander_m > 0.0 && leg > 2.0) {
+          const Point dir = (to - from) * (1.0 / leg);
+          const Point normal{-dir.y, dir.x};
+          const double off = rng.Uniform(-spec.wander_m, spec.wander_m);
+          const Point mid = from + (to - from) * rng.Uniform(0.35, 0.65) +
+                            normal * off;
+          walk_segment(from, mid);
+          walk_segment(mid, to);
+        } else {
+          walk_segment(from, to);
+        }
+        if (spec.max_dwell_s > 0.0 && rng.Bernoulli(0.5)) {
+          dwell(rng.Uniform(0.0, spec.max_dwell_s));
+        }
+        maybe_mark_rp(waypoints[w]);
+      }
+      std::stable_sort(
+          table.records.begin(), table.records.end(),
+          [](const SurveyRecord& a, const SurveyRecord& b) { return a.time < b.time; });
+      if (!table.records.empty()) tables.push_back(std::move(table));
+    }
+  }
+  return tables;
+}
+
+std::vector<rmap::Record> CreateRadioMapRecords(
+    const PathRecordTable& table, size_t num_aps, double epsilon_s,
+    std::vector<geom::Point>* true_positions) {
+  RMI_CHECK(true_positions != nullptr);
+
+  // Working representation during merging.
+  struct Merged {
+    double time = 0.0;
+    bool has_rssi = false;
+    std::vector<double> sum;    // per-AP sum of merged measurements
+    std::vector<int> count;     // per-AP merge count
+    bool has_rp = false;
+    geom::Point rp;
+    geom::Point true_position;
+  };
+
+  std::vector<Merged> work;
+  work.reserve(table.records.size());
+  for (const SurveyRecord& r : table.records) {
+    Merged m;
+    m.time = r.time;
+    m.true_position = r.true_position;
+    if (r.is_rp) {
+      m.has_rp = true;
+      m.rp = r.rp;
+    } else {
+      m.has_rssi = true;
+      m.sum.assign(num_aps, 0.0);
+      m.count.assign(num_aps, 0);
+      for (const auto& [ap, v] : r.rssi) {
+        RMI_CHECK_LT(ap, num_aps);
+        m.sum[ap] += v;
+        m.count[ap] += 1;
+      }
+    }
+    work.push_back(std::move(m));
+  }
+
+  // Step 1: merge consecutive RSSI records with time difference <= epsilon.
+  // Merged record keeps the earlier time (and that record's ground truth);
+  // common APs are averaged, others unioned.
+  std::vector<Merged> step1;
+  for (Merged& m : work) {
+    if (!step1.empty() && step1.back().has_rssi && !step1.back().has_rp &&
+        m.has_rssi && !m.has_rp &&
+        m.time - step1.back().time <= epsilon_s) {
+      Merged& prev = step1.back();
+      for (size_t ap = 0; ap < num_aps; ++ap) {
+        prev.sum[ap] += m.sum[ap];
+        prev.count[ap] += m.count[ap];
+      }
+      continue;
+    }
+    step1.push_back(std::move(m));
+  }
+
+  // Step 2: merge adjacent RSSI and RP records with |dt| <= epsilon. Each
+  // record participates in at most one merge; time/RSSIs come from the RSSI
+  // record, the RP from the RP record.
+  std::vector<bool> used(step1.size(), false);
+  std::vector<Merged> step2;
+  for (size_t i = 0; i < step1.size(); ++i) {
+    if (used[i]) continue;
+    Merged cur = std::move(step1[i]);
+    used[i] = true;
+    if (i + 1 < step1.size() && !used[i + 1] &&
+        step1[i + 1].time - cur.time <= epsilon_s) {
+      Merged& next = step1[i + 1];
+      const bool rssi_then_rp = cur.has_rssi && !cur.has_rp && next.has_rp && !next.has_rssi;
+      const bool rp_then_rssi = cur.has_rp && !cur.has_rssi && next.has_rssi && !next.has_rp;
+      if (rssi_then_rp) {
+        cur.has_rp = true;
+        cur.rp = next.rp;
+        used[i + 1] = true;
+      } else if (rp_then_rssi) {
+        // Keep the RSSI record's time/ground truth; attach the RP.
+        const geom::Point rp = cur.rp;
+        cur = std::move(next);
+        cur.has_rp = true;
+        cur.rp = rp;
+        used[i + 1] = true;
+      }
+    }
+    step2.push_back(std::move(cur));
+  }
+
+  // Convert to radio-map records (missing values -> null).
+  std::vector<rmap::Record> out;
+  out.reserve(step2.size());
+  true_positions->clear();
+  true_positions->reserve(step2.size());
+  for (const Merged& m : step2) {
+    rmap::Record r;
+    r.rssi.assign(num_aps, kNull);
+    if (m.has_rssi) {
+      for (size_t ap = 0; ap < num_aps; ++ap) {
+        if (m.count[ap] > 0) {
+          r.rssi[ap] = m.sum[ap] / static_cast<double>(m.count[ap]);
+        }
+      }
+    }
+    r.has_rp = m.has_rp;
+    if (m.has_rp) r.rp = m.rp;
+    r.time = m.time;
+    r.path_id = table.path_id;
+    out.push_back(std::move(r));
+    true_positions->push_back(m.true_position);
+  }
+  return out;
+}
+
+SurveyDataset GenerateDataset(const indoor::VenueSpec& venue_spec,
+                              const radio::PropagationParams& radio_params,
+                              const SurveySpec& survey_spec) {
+  SurveyDataset ds;
+  ds.venue = indoor::GenerateVenue(venue_spec);
+  ds.radio_params = radio_params;
+  ds.survey_spec = survey_spec;
+
+  radio::PropagationModel model(&ds.venue, radio_params);
+  Rng rng(survey_spec.seed);
+  const auto tables = SimulateSurvey(ds.venue, model, survey_spec, rng);
+
+  const size_t num_aps = ds.venue.aps.size();
+  ds.map = rmap::RadioMap(num_aps);
+  for (const PathRecordTable& table : tables) {
+    std::vector<geom::Point> positions;
+    auto records =
+        CreateRadioMapRecords(table, num_aps, survey_spec.epsilon_s, &positions);
+    RMI_CHECK_EQ(records.size(), positions.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+      ds.map.Add(std::move(records[i]));
+      ds.truth.positions.push_back(positions[i]);
+    }
+  }
+
+  // Ground-truth mask and mean RSSI per record.
+  const size_t n = ds.map.size();
+  ds.truth.mask = rmap::MaskMatrix(n, num_aps);
+  ds.truth.mean_rssi = la::Matrix(n, num_aps);
+  for (size_t i = 0; i < n; ++i) {
+    const rmap::Record& r = ds.map.record(i);
+    const geom::Point& pos = ds.truth.positions[i];
+    for (size_t ap = 0; ap < num_aps; ++ap) {
+      ds.truth.mean_rssi(i, ap) = ClampRssi(model.MeanRssi(ap, pos));
+      if (!IsNull(r.rssi[ap])) {
+        ds.truth.mask.set(i, ap, rmap::MaskValue::kObserved);
+      } else if (model.IsObservable(ap, pos)) {
+        ds.truth.mask.set(i, ap, rmap::MaskValue::kMar);
+      } else {
+        ds.truth.mask.set(i, ap, rmap::MaskValue::kMnar);
+      }
+    }
+  }
+  return ds;
+}
+
+namespace {
+
+/// Survey effort scales with the venue scale: at scale = 1 the presets
+/// target the paper's Table V record counts; smaller scales shrink both the
+/// fingerprint dimensionality (AP count, in the venue spec) and the record
+/// count (rounds here) so CPU benches stay fast.
+SurveySpec PresetSurveySpec(size_t full_rounds, double scale, uint64_t seed) {
+  SurveySpec s;
+  s.rounds = std::max<size_t>(
+      2, static_cast<size_t>(std::llround(static_cast<double>(full_rounds) *
+                                          std::sqrt(scale))));
+  s.seed = seed;
+  return s;
+}
+
+}  // namespace
+
+SurveyDataset MakeKaideDataset(double scale, uint64_t seed) {
+  return GenerateDataset(indoor::KaideSpec(scale), radio::PropagationParams{},
+                         PresetSurveySpec(/*full_rounds=*/2, scale, seed));
+}
+
+SurveyDataset MakeWandaDataset(double scale, uint64_t seed) {
+  radio::PropagationParams p;
+  p.seed = 199;
+  return GenerateDataset(indoor::WandaSpec(scale), p,
+                         PresetSurveySpec(/*full_rounds=*/8, scale, seed));
+}
+
+SurveyDataset MakeLonghuDataset(double scale, uint64_t seed) {
+  radio::PropagationParams p = radio::PropagationParams::Bluetooth();
+  p.seed = 299;
+  return GenerateDataset(indoor::LonghuSpec(scale), p,
+                         PresetSurveySpec(/*full_rounds=*/7, scale, seed));
+}
+
+}  // namespace rmi::survey

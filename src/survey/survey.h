@@ -1,0 +1,116 @@
+// Walking-survey simulation and radio-map creation (paper Section II-B).
+//
+// A surveyor walks each survey path, producing an asynchronous Walking
+// Survey Record Table: RP records when (probabilistically) marking a
+// waypoint, and RSSI scan records on a timer. The table is then converted
+// into a sparse radio map by the epsilon-merge procedure of Section II-B
+// (Step 1: merge close RSSI records; Step 2: merge close RSSI+RP records).
+//
+// Because the environment is simulated, full ground truth is retained for
+// every produced record: the surveyor's true position, the noise-free mean
+// RSSI of every AP there, and the true MAR/MNAR label of every missing cell.
+#ifndef RMI_SURVEY_SURVEY_H_
+#define RMI_SURVEY_SURVEY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+#include "geometry/geometry.h"
+#include "indoor/venue.h"
+#include "radio/propagation.h"
+#include "radiomap/radio_map.h"
+
+namespace rmi::survey {
+
+/// One raw entry of the Walking Survey Record Table (paper Table II).
+struct SurveyRecord {
+  double time = 0.0;
+  bool is_rp = false;
+  geom::Point rp;  ///< valid iff is_rp
+  /// Sparse scan: (ap index, measured RSSI); valid iff !is_rp.
+  std::vector<std::pair<size_t, double>> rssi;
+  /// Ground truth: surveyor's true position at `time`.
+  geom::Point true_position;
+};
+
+/// A record table for one walked path (sorted by time).
+struct PathRecordTable {
+  size_t path_id = 0;
+  std::vector<SurveyRecord> records;
+};
+
+/// Survey behaviour knobs.
+struct SurveySpec {
+  double walk_speed_mps = 1.25;   ///< nominal walking speed
+  double speed_jitter = 0.25;     ///< relative speed jitter per leg half
+  double scan_interval_s = 1.5;   ///< RSSI scan period
+  double scan_jitter_s = 0.3;     ///< absolute scan-time jitter
+  double rp_mark_prob = 0.35;     ///< chance a waypoint visit emits an RP record
+  size_t rounds = 2;              ///< passes over every path
+  double epsilon_s = 1.0;         ///< merge threshold (paper: 1 s)
+  double rp_keep_fraction = 1.0;  ///< RP-density scaling (paper Fig. 16)
+  /// Human-motion realism (makes surveyor position a *non-linear* function
+  /// of time, as in real walking surveys — crowds, window shopping,
+  /// obstacle avoidance). Without these, time-linear RP interpolation
+  /// would be artificially exact in simulation.
+  double max_dwell_s = 3.0;       ///< random pause at each waypoint
+  double wander_m = 1.2;          ///< lateral detour amplitude mid-leg
+  uint64_t seed = 5;
+};
+
+/// Simulates the walking survey over every venue path (`rounds` passes).
+/// Each (path, round) pair yields its own PathRecordTable with time 0 at the
+/// start of that pass.
+std::vector<PathRecordTable> SimulateSurvey(
+    const indoor::Venue& venue, const radio::PropagationModel& model,
+    const SurveySpec& spec, Rng& rng);
+
+/// Radio-map creation (Section II-B): epsilon-merge one path's record table
+/// into radio-map records. `true_positions` receives the ground-truth
+/// position per produced record.
+std::vector<rmap::Record> CreateRadioMapRecords(
+    const PathRecordTable& table, size_t num_aps, double epsilon_s,
+    std::vector<geom::Point>* true_positions);
+
+/// Ground truth attached to a generated dataset.
+struct GroundTruth {
+  /// True surveyor position per radio-map record.
+  std::vector<geom::Point> positions;
+  /// True per-cell label: observed / MAR / MNAR.
+  rmap::MaskMatrix mask;
+  /// Noise-free mean RSSI (clamped to the observable range) of every
+  /// (record position, AP) pair — the regression target for imputed MARs.
+  la::Matrix mean_rssi;
+};
+
+/// A fully generated benchmark dataset.
+struct SurveyDataset {
+  indoor::Venue venue;
+  radio::PropagationParams radio_params;
+  SurveySpec survey_spec;
+  rmap::RadioMap map;
+  GroundTruth truth;
+
+  /// Rebuilds a propagation model view over this dataset's venue.
+  radio::PropagationModel Model() const {
+    return radio::PropagationModel(&venue, radio_params);
+  }
+};
+
+/// End-to-end generation: venue -> survey -> radio map (+ ground truth).
+SurveyDataset GenerateDataset(const indoor::VenueSpec& venue_spec,
+                              const radio::PropagationParams& radio_params,
+                              const SurveySpec& survey_spec);
+
+/// Paper-preset datasets. `scale` shrinks the AP count / survey effort for
+/// fast CPU benches (1.0 targets Table V sizes).
+SurveyDataset MakeKaideDataset(double scale = 0.25, uint64_t seed = 5);
+SurveyDataset MakeWandaDataset(double scale = 0.25, uint64_t seed = 6);
+SurveyDataset MakeLonghuDataset(double scale = 0.25, uint64_t seed = 7);
+
+}  // namespace rmi::survey
+
+#endif  // RMI_SURVEY_SURVEY_H_

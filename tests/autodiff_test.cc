@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "autodiff/optimizer.h"
+#include "autodiff/tensor.h"
+
+namespace rmi::ad {
+namespace {
+
+/// Central-difference gradient check: perturbs every entry of `param` and
+/// compares numeric gradients of `scalar_fn` with the analytic ones.
+void CheckGradient(Tensor param,
+                   const std::function<Tensor()>& scalar_fn,
+                   double tol = 1e-6) {
+  Tensor loss = scalar_fn();
+  param.ZeroGrad();
+  loss.Backward();
+  const la::Matrix analytic = param.grad();
+
+  const double eps = 1e-6;
+  la::Matrix& w = param.mutable_value();
+  for (size_t i = 0; i < w.size(); ++i) {
+    const double orig = w.data()[i];
+    w.data()[i] = orig + eps;
+    const double up = scalar_fn().value()(0, 0);
+    w.data()[i] = orig - eps;
+    const double down = scalar_fn().value()(0, 0);
+    w.data()[i] = orig;
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric, tol)
+        << "entry " << i;
+  }
+}
+
+TEST(TensorTest, ConstantAndParamFlags) {
+  Tensor c = Tensor::Constant(la::Matrix{{1, 2}});
+  Tensor p = Tensor::Param(la::Matrix{{3, 4}});
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_TRUE(p.requires_grad());
+  Tensor sum = Add(c, p);
+  EXPECT_TRUE(sum.requires_grad());
+  Tensor cc = Add(c, c);
+  EXPECT_FALSE(cc.requires_grad());
+}
+
+TEST(TensorTest, ForwardValues) {
+  Tensor a = Tensor::Constant(la::Matrix{{1, 2}});
+  Tensor b = Tensor::Constant(la::Matrix{{3, 4}});
+  EXPECT_DOUBLE_EQ(Add(a, b).value()(0, 1), 6);
+  EXPECT_DOUBLE_EQ(Sub(a, b).value()(0, 0), -2);
+  EXPECT_DOUBLE_EQ(Mul(a, b).value()(0, 1), 8);
+  EXPECT_DOUBLE_EQ(Scale(a, 3).value()(0, 0), 3);
+  EXPECT_DOUBLE_EQ(Sum(a).value()(0, 0), 3);
+  EXPECT_DOUBLE_EQ(Mean(b).value()(0, 0), 3.5);
+}
+
+TEST(TensorTest, SigmoidTanhReluExpValues) {
+  Tensor x = Tensor::Constant(la::Matrix{{0.0, -1.0, 2.0}});
+  EXPECT_DOUBLE_EQ(Sigmoid(x).value()(0, 0), 0.5);
+  EXPECT_NEAR(Tanh(x).value()(0, 1), std::tanh(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Relu(x).value()(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(Relu(x).value()(0, 2), 2.0);
+  EXPECT_NEAR(Exp(x).value()(0, 2), std::exp(2.0), 1e-12);
+}
+
+TEST(TensorTest, SoftmaxRowsSumsToOne) {
+  Tensor x = Tensor::Constant(la::Matrix{{1, 2, 3}, {-5, 0, 5}});
+  const la::Matrix y = SoftmaxRows(x).value();
+  for (size_t i = 0; i < 2; ++i) {
+    double s = 0;
+    for (size_t j = 0; j < 3; ++j) {
+      s += y(i, j);
+      EXPECT_GT(y(i, j), 0.0);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+  EXPECT_GT(y(0, 2), y(0, 0));
+}
+
+TEST(TensorTest, SoftmaxNumericallyStable) {
+  Tensor x = Tensor::Constant(la::Matrix{{1000.0, 1000.0}});
+  const la::Matrix y = SoftmaxRows(x).value();
+  EXPECT_NEAR(y(0, 0), 0.5, 1e-12);
+}
+
+TEST(TensorTest, MatMulChainGradientFlow) {
+  Rng rng(1);
+  Tensor w = Tensor::Param(la::Matrix::Random(3, 2, rng));
+  Tensor x = Tensor::Constant(la::Matrix::Random(1, 3, rng));
+  Tensor loss = Sum(MatMul(x, w));
+  loss.Backward();
+  // d(sum(xW))/dW = x^T 1.
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(w.grad()(i, j), x.value()(0, i), 1e-12);
+    }
+  }
+}
+
+TEST(TensorTest, GradientAccumulatesAcrossBackwards) {
+  Tensor p = Tensor::Param(la::Matrix{{2.0}});
+  Tensor l1 = Sum(Mul(p, p));
+  l1.Backward();
+  const double g1 = p.grad()(0, 0);
+  Tensor l2 = Sum(Mul(p, p));
+  l2.Backward();
+  EXPECT_NEAR(p.grad()(0, 0), 2 * g1, 1e-12);
+  p.ZeroGrad();
+  EXPECT_DOUBLE_EQ(p.grad()(0, 0), 0.0);
+}
+
+// --- Parameterized gradient checks over ops. -----------------------------
+
+struct OpCase {
+  const char* name;
+  std::function<Tensor(const Tensor&)> op;
+};
+
+class GradCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GradCheckTest, UnaryOps) {
+  static const std::vector<OpCase> kCases = {
+      {"sigmoid", [](const Tensor& x) { return Mean(Sigmoid(x)); }},
+      {"tanh", [](const Tensor& x) { return Mean(Tanh(x)); }},
+      {"exp", [](const Tensor& x) { return Mean(Exp(x)); }},
+      {"scale", [](const Tensor& x) { return Mean(Scale(x, -2.5)); }},
+      {"sum", [](const Tensor& x) { return Sum(x); }},
+      {"softmax",
+       [](const Tensor& x) { return Mean(Mul(SoftmaxRows(x), SoftmaxRows(x))); }},
+      {"slice", [](const Tensor& x) { return Mean(SliceCols(x, 1, 3)); }},
+      {"mse_self",
+       [](const Tensor& x) {
+         return Mse(x, Tensor::Constant(la::Matrix(1, 4, 0.3)));
+       }},
+  };
+  Rng rng(40 + GetParam());
+  for (const OpCase& c : kCases) {
+    Tensor x = Tensor::Param(la::Matrix::Random(1, 4, rng, -1.5, 1.5));
+    CheckGradient(x, [&]() { return c.op(x); });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GradCheckTest, ::testing::Range(0, 3));
+
+TEST(GradCheckBinaryTest, AddSubMul) {
+  Rng rng(7);
+  Tensor a = Tensor::Param(la::Matrix::Random(2, 3, rng));
+  Tensor b = Tensor::Param(la::Matrix::Random(2, 3, rng));
+  CheckGradient(a, [&]() { return Mean(Mul(Add(a, b), Sub(a, b))); });
+  CheckGradient(b, [&]() { return Mean(Mul(Add(a, b), Sub(a, b))); });
+}
+
+TEST(GradCheckBinaryTest, MatMulBothSides) {
+  Rng rng(8);
+  Tensor a = Tensor::Param(la::Matrix::Random(2, 3, rng));
+  Tensor b = Tensor::Param(la::Matrix::Random(3, 4, rng));
+  CheckGradient(a, [&]() { return Mean(MatMul(a, b)); });
+  CheckGradient(b, [&]() { return Mean(Mul(MatMul(a, b), MatMul(a, b))); });
+}
+
+TEST(GradCheckBinaryTest, ConcatCols) {
+  Rng rng(9);
+  Tensor a = Tensor::Param(la::Matrix::Random(1, 2, rng));
+  Tensor b = Tensor::Param(la::Matrix::Random(1, 3, rng));
+  auto fn = [&]() {
+    Tensor c = ConcatCols(a, b);
+    return Mean(Mul(c, c));
+  };
+  CheckGradient(a, fn);
+  CheckGradient(b, fn);
+}
+
+TEST(GradCheckBinaryTest, AddRowBroadcast) {
+  Rng rng(10);
+  Tensor x = Tensor::Param(la::Matrix::Random(3, 2, rng));
+  Tensor bias = Tensor::Param(la::Matrix::Random(1, 2, rng));
+  auto fn = [&]() {
+    Tensor y = AddRowBroadcast(x, bias);
+    return Mean(Mul(y, y));
+  };
+  CheckGradient(x, fn);
+  CheckGradient(bias, fn);
+}
+
+TEST(GradCheckBinaryTest, ScaleBy) {
+  Rng rng(11);
+  Tensor s = Tensor::Param(la::Matrix{{0.7}});
+  Tensor x = Tensor::Param(la::Matrix::Random(1, 4, rng));
+  auto fn = [&]() {
+    Tensor y = ScaleBy(s, x);
+    return Mean(Mul(y, y));
+  };
+  CheckGradient(s, fn);
+  CheckGradient(x, fn);
+}
+
+TEST(GradCheckBinaryTest, ReluAtNonKink) {
+  Rng rng(12);
+  // Keep values away from the kink for finite differencing.
+  la::Matrix v = la::Matrix::Random(1, 4, rng);
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (std::fabs(v.data()[i]) < 0.1) v.data()[i] = 0.5;
+  }
+  Tensor x = Tensor::Param(v);
+  CheckGradient(x, [&]() { return Mean(Relu(x)); });
+}
+
+TEST(GradCheckBinaryTest, MaskedMse) {
+  Rng rng(13);
+  Tensor a = Tensor::Param(la::Matrix::Random(1, 5, rng));
+  Tensor b = Tensor::Param(la::Matrix::Random(1, 5, rng));
+  la::Matrix mask{{1, 0, 1, 0, 1}};
+  auto fn = [&]() { return MaskedMse(a, b, mask); };
+  CheckGradient(a, fn);
+  CheckGradient(b, fn);
+  // Masked-out entries get zero gradient.
+  Tensor loss = fn();
+  a.ZeroGrad();
+  loss.Backward();
+  EXPECT_DOUBLE_EQ(a.grad()(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(a.grad()(0, 3), 0.0);
+}
+
+TEST(GradCheckBinaryTest, BceWithLogits) {
+  Rng rng(14);
+  Tensor x = Tensor::Param(la::Matrix::Random(1, 4, rng, -2, 2));
+  la::Matrix targets{{1, 0, 1, 0}};
+  CheckGradient(x, [&]() { return BceWithLogits(x, targets); }, 1e-5);
+}
+
+TEST(BceTest, StableForExtremeLogits) {
+  Tensor x = Tensor::Param(la::Matrix{{500.0, -500.0}});
+  la::Matrix t{{1.0, 0.0}};
+  Tensor loss = BceWithLogits(x, t);
+  EXPECT_TRUE(std::isfinite(loss.value()(0, 0)));
+  EXPECT_NEAR(loss.value()(0, 0), 0.0, 1e-9);
+  loss.Backward();
+  EXPECT_TRUE(x.grad().AllFinite());
+}
+
+TEST(TensorTest, DiamondGraphAccumulates) {
+  // y = x*x + x*x reuses x twice; gradient must be 4x.
+  Tensor x = Tensor::Param(la::Matrix{{3.0}});
+  Tensor sq = Mul(x, x);
+  Tensor loss = Sum(Add(sq, sq));
+  loss.Backward();
+  EXPECT_NEAR(x.grad()(0, 0), 12.0, 1e-12);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  Tensor x = Tensor::Param(la::Matrix{{5.0, -3.0}});
+  Adam opt({x}, 0.1);
+  for (int i = 0; i < 500; ++i) {
+    Tensor target = Tensor::Constant(la::Matrix{{1.0, 2.0}});
+    Tensor loss = Mse(x, target);
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.value()(0, 0), 1.0, 1e-2);
+  EXPECT_NEAR(x.value()(0, 1), 2.0, 1e-2);
+}
+
+TEST(SgdTest, MinimizesQuadratic) {
+  Tensor x = Tensor::Param(la::Matrix{{4.0}});
+  Sgd opt({x}, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    Tensor loss = Mse(x, Tensor::Constant(la::Matrix{{-1.0}}));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.value()(0, 0), -1.0, 1e-3);
+}
+
+TEST(ClipGradNormTest, ScalesDownLargeGradients) {
+  Tensor x = Tensor::Param(la::Matrix{{3.0, 4.0}});
+  Tensor loss = Scale(Sum(Mul(x, x)), 10.0);
+  loss.Backward();
+  ClipGradNorm({x}, 1.0);
+  double norm = 0;
+  for (size_t i = 0; i < 2; ++i) norm += x.grad()(0, i) * x.grad()(0, i);
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-9);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Tensor x = Tensor::Param(la::Matrix{{0.1}});
+  Tensor loss = Sum(x);
+  loss.Backward();
+  ClipGradNorm({x}, 10.0);
+  EXPECT_DOUBLE_EQ(x.grad()(0, 0), 1.0);
+}
+
+TEST(AdamTest, ZeroGradDropsAccumulation) {
+  Tensor x = Tensor::Param(la::Matrix{{1.0}});
+  Adam opt({x}, 0.1);
+  Sum(x).Backward();
+  opt.ZeroGrad();
+  EXPECT_DOUBLE_EQ(x.grad()(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace rmi::ad

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "indoor/venue.h"
+
+namespace rmi::indoor {
+namespace {
+
+VenueSpec SmallSpec() {
+  VenueSpec s;
+  s.name = "small";
+  s.width = 30;
+  s.height = 30;
+  s.rooms_x = 2;
+  s.rooms_y = 2;
+  s.hallway_width = 3;
+  s.num_aps = 20;
+  s.rp_spacing = 4;
+  s.room_visit_fraction = 0.5;
+  s.seed = 1;
+  return s;
+}
+
+TEST(VenueTest, BasicStructure) {
+  Venue v = GenerateVenue(SmallSpec());
+  EXPECT_EQ(v.rooms.size(), 4u);
+  EXPECT_EQ(v.aps.size(), 20u);
+  EXPECT_FALSE(v.rps.empty());
+  EXPECT_FALSE(v.paths.empty());
+  EXPECT_FALSE(v.walls.empty());
+  EXPECT_DOUBLE_EQ(v.FloorArea(), 900.0);
+}
+
+TEST(VenueTest, ApsInsideBounds) {
+  Venue v = GenerateVenue(SmallSpec());
+  for (const AccessPoint& ap : v.aps) {
+    EXPECT_GE(ap.position.x, 0.0);
+    EXPECT_LE(ap.position.x, v.width);
+    EXPECT_GE(ap.position.y, 0.0);
+    EXPECT_LE(ap.position.y, v.height);
+  }
+}
+
+TEST(VenueTest, RpsInsideBounds) {
+  Venue v = GenerateVenue(SmallSpec());
+  for (const auto& rp : v.rps) {
+    EXPECT_GE(rp.x, 0.0);
+    EXPECT_LE(rp.x, v.width);
+    EXPECT_GE(rp.y, 0.0);
+    EXPECT_LE(rp.y, v.height);
+  }
+}
+
+TEST(VenueTest, PathsReferenceValidRps) {
+  Venue v = GenerateVenue(SmallSpec());
+  for (const auto& path : v.paths) {
+    EXPECT_GE(path.size(), 2u);
+    for (size_t idx : path) EXPECT_LT(idx, v.rps.size());
+  }
+}
+
+TEST(VenueTest, DeterministicForSameSpec) {
+  Venue a = GenerateVenue(SmallSpec());
+  Venue b = GenerateVenue(SmallSpec());
+  ASSERT_EQ(a.aps.size(), b.aps.size());
+  for (size_t i = 0; i < a.aps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.aps[i].position.x, b.aps[i].position.x);
+  }
+  ASSERT_EQ(a.rps.size(), b.rps.size());
+  ASSERT_EQ(a.paths.size(), b.paths.size());
+}
+
+TEST(VenueTest, HallwayRpsAreOutsideRooms) {
+  // RPs on hallway centerlines must not fall inside any room rectangle.
+  Venue v = GenerateVenue(SmallSpec());
+  // The first RPs belong to hallway paths by construction; room RPs are at
+  // room centers, so test: every RP is either in a room center or outside
+  // all rooms.
+  size_t in_room = 0;
+  for (const auto& rp : v.rps) {
+    for (const auto& room : v.rooms) {
+      if (room.Contains(rp)) {
+        ++in_room;
+        break;
+      }
+    }
+  }
+  // Only the visited-room RPs (2 of 4 rooms at fraction 0.5) are in rooms.
+  EXPECT_EQ(in_room, 2u);
+}
+
+TEST(VenueTest, WallsHaveDoorGaps) {
+  // Each room emits 4 walls, the hallway-facing one split in two around the
+  // door: 5 wall rectangles per room.
+  Venue v = GenerateVenue(SmallSpec());
+  EXPECT_EQ(v.walls.size(), v.rooms.size() * 5);
+}
+
+TEST(VenueTest, RoomDetourPathsVisitRooms) {
+  Venue v = GenerateVenue(SmallSpec());
+  // Some path must contain an RP inside a room (detour).
+  bool found = false;
+  for (const auto& path : v.paths) {
+    for (size_t idx : path) {
+      for (const auto& room : v.rooms) {
+        if (room.Contains(v.rps[idx])) found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+class PresetTest
+    : public ::testing::TestWithParam<std::tuple<const char*, double, double,
+                                                 size_t, bool>> {};
+
+TEST_P(PresetTest, MatchesTableVStatistics) {
+  auto [name, area, rp_density, aps_full, bluetooth] = GetParam();
+  VenueSpec spec;
+  if (std::string(name) == "Kaide") spec = KaideSpec(1.0);
+  if (std::string(name) == "Wanda") spec = WandaSpec(1.0);
+  if (std::string(name) == "Longhu") spec = LonghuSpec(1.0);
+  Venue v = GenerateVenue(spec);
+  EXPECT_EQ(v.name, name);
+  EXPECT_NEAR(v.FloorArea(), area, area * 0.1);
+  EXPECT_NEAR(v.RpDensityPer100m2(), rp_density, rp_density * 0.35);
+  EXPECT_EQ(v.NumAps(), aps_full);
+  EXPECT_EQ(v.bluetooth, bluetooth);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableV, PresetTest,
+    ::testing::Values(
+        std::make_tuple("Kaide", 3225.7, 3.53, size_t{671}, false),
+        std::make_tuple("Wanda", 4458.5, 2.65, size_t{929}, false),
+        std::make_tuple("Longhu", 6504.1, 3.11, size_t{330}, true)));
+
+TEST(PresetTest, ScaleShrinksAps) {
+  EXPECT_EQ(KaideSpec(0.25).num_aps, size_t{671 / 4});
+  EXPECT_EQ(GenerateVenue(KaideSpec(0.25)).aps.size(), size_t{671 / 4});
+  // Scale never goes below the floor.
+  EXPECT_GE(KaideSpec(0.001).num_aps, 24u);
+}
+
+}  // namespace
+}  // namespace rmi::indoor

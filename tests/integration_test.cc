@@ -1,0 +1,153 @@
+// End-to-end integration checks: the whole framework on a small synthetic
+// venue, asserting the paper's qualitative claims in loose form.
+#include <gtest/gtest.h>
+
+#include "eval/factories.h"
+#include "eval/pipeline.h"
+#include "survey/survey.h"
+
+namespace rmi::eval {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ds_ = new survey::SurveyDataset(survey::MakeKaideDataset(/*scale=*/0.05));
+    env_ = new BenchEnv();
+    env_->epochs = 30;
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    delete env_;
+  }
+  static survey::SurveyDataset* ds_;
+  static BenchEnv* env_;
+};
+
+survey::SurveyDataset* IntegrationTest::ds_ = nullptr;
+BenchEnv* IntegrationTest::env_ = nullptr;
+
+TEST_F(IntegrationTest, DatasetShapeSane) {
+  EXPECT_GT(ds_->map.size(), 200u);
+  EXPECT_GT(ds_->map.MissingRssiRate(), 0.7);
+  EXPECT_GT(ds_->map.MissingRpRate(), 0.5);
+}
+
+TEST_F(IntegrationTest, DifferentiatorsAgreeWithGroundTruthAboveChance) {
+  // The clustering differentiators must label the synthetic ground-truth
+  // MAR/MNAR cells with balanced accuracy above 0.5 (chance).
+  for (const char* name : {"TopoAC", "DasaKM"}) {
+    auto diff = MakeDifferentiator(name, &ds_->venue);
+    Rng rng(1);
+    const auto mask = diff->Differentiate(ds_->map, rng);
+    size_t mar_total = 0, mar_hit = 0, mnar_total = 0, mnar_hit = 0;
+    for (size_t i = 0; i < ds_->map.size(); ++i) {
+      for (size_t j = 0; j < ds_->map.num_aps(); ++j) {
+        const auto truth = ds_->truth.mask.at(i, j);
+        const auto pred = mask.at(i, j);
+        if (truth == rmap::MaskValue::kMar) {
+          ++mar_total;
+          mar_hit += (pred == rmap::MaskValue::kMar);
+        } else if (truth == rmap::MaskValue::kMnar) {
+          ++mnar_total;
+          mnar_hit += (pred == rmap::MaskValue::kMnar);
+        }
+      }
+    }
+    ASSERT_GT(mar_total, 0u);
+    ASSERT_GT(mnar_total, 0u);
+    const double tpr = double(mar_hit) / double(mar_total);
+    const double tnr = double(mnar_hit) / double(mnar_total);
+    EXPECT_GT((tpr + tnr) / 2.0, 0.55) << name << " tpr=" << tpr
+                                       << " tnr=" << tnr;
+  }
+}
+
+TEST_F(IntegrationTest, BiSimBeatsFloorFillOnMarImputation) {
+  // Impute with T-BiSIM and compare MAR-cell predictions against the
+  // simulator's true mean RSSI; must beat the -100 dBm floor fill clearly.
+  auto diff = MakeDifferentiator("TopoAC", &ds_->venue);
+  auto bisim = MakeImputer("BiSIM", ds_->venue, *env_);
+  Rng rng(2);
+  rmap::RadioMap working = ds_->map;
+  auto mask = diff->Differentiate(working, rng);
+  imputers::FillMnar(&working, &mask);
+  const auto imputed = bisim->Impute(working, mask, rng);
+
+  double bisim_err = 0.0, floor_err = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < ds_->map.size(); ++i) {
+    for (size_t j = 0; j < ds_->map.num_aps(); ++j) {
+      if (mask.at(i, j) != rmap::MaskValue::kMar) continue;
+      if (ds_->truth.mask.at(i, j) != rmap::MaskValue::kMar) continue;
+      const double truth = ds_->truth.mean_rssi(i, j);
+      bisim_err += std::fabs(imputed.record(i).rssi[j] - truth);
+      floor_err += std::fabs(-100.0 - truth);
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 10u);
+  EXPECT_LT(bisim_err, 0.8 * floor_err);
+}
+
+TEST_F(IntegrationTest, DifferentiationBeatsMnarOnly) {
+  // Core claim of Fig. 12: a clustering differentiator + BiSIM beats
+  // MNAR-only + BiSIM on positioning accuracy. APE on a single small test
+  // split is noisy, so average over splits with a 30% hold-out.
+  auto bisim = MakeImputer("BiSIM", ds_->venue, *env_);
+  auto run = [&](const char* diff_name) {
+    auto diff = MakeDifferentiator(diff_name, &ds_->venue);
+    double sum = 0.0;
+    for (uint64_t seed : {99, 100, 101}) {
+      auto wknn = MakeEstimator("WKNN");
+      PipelineOptions opt;
+      opt.seed = seed;
+      opt.test_fraction = 0.3;
+      sum += RunPipeline(ds_->map, *diff, *bisim, *wknn, opt).ape;
+    }
+    return sum / 3.0;
+  };
+  const double ape_topo = run("TopoAC");
+  const double ape_mnar = run("MNAR-only");
+  // Loose: TopoAC should not be materially worse than MNAR-only, and
+  // typically better.
+  EXPECT_LT(ape_topo, ape_mnar * 1.15)
+      << "TopoAC=" << ape_topo << " MNAR-only=" << ape_mnar;
+}
+
+TEST_F(IntegrationTest, BiSimBeatsTraditionalImputerOnApe) {
+  // Core claim of Table VI (loose form): T-BiSIM beats CD on APE.
+  auto topo = MakeDifferentiator("TopoAC", &ds_->venue);
+  PipelineOptions opt;
+  opt.seed = 7;
+  auto bisim = MakeImputer("BiSIM", ds_->venue, *env_);
+  auto wknn1 = MakeEstimator("WKNN");
+  const double ape_bisim =
+      RunPipeline(ds_->map, *topo, *bisim, *wknn1, opt).ape;
+  auto cd = MakeImputer("CD", ds_->venue, *env_);
+  auto wknn2 = MakeEstimator("WKNN");
+  const double ape_cd = RunPipeline(ds_->map, *topo, *cd, *wknn2, opt).ape;
+  EXPECT_LT(ape_bisim, ape_cd)
+      << "BiSIM=" << ape_bisim << " CD=" << ape_cd;
+}
+
+TEST_F(IntegrationTest, AllImputersCompleteThePresetMap) {
+  auto diff = MakeDifferentiator("MNAR-only", &ds_->venue);
+  BenchEnv quick;
+  quick.epochs = 2;
+  for (const char* name : {"LI", "SL", "MICE", "BRITS"}) {
+    auto imputer = MakeImputer(name, ds_->venue, quick);
+    Rng rng(3);
+    const auto imputed =
+        DifferentiateAndImpute(ds_->map, *diff, *imputer, rng);
+    for (size_t i = 0; i < imputed.size(); ++i) {
+      EXPECT_TRUE(imputed.record(i).has_rp) << name;
+      for (double v : imputed.record(i).rssi) {
+        EXPECT_FALSE(IsNull(v)) << name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rmi::eval

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/optimizer.h"
+#include "nn/layers.h"
+
+namespace rmi::nn {
+namespace {
+
+using ad::Tensor;
+
+TEST(XavierInitTest, BoundsScaleWithFanInOut) {
+  Rng rng(1);
+  la::Matrix w = XavierInit(100, 100, rng);
+  const double bound = std::sqrt(6.0 / 200.0);
+  EXPECT_LE(w.MaxAbs(), bound + 1e-12);
+  EXPECT_GT(w.MaxAbs(), bound * 0.5);  // actually fills the range
+}
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(2);
+  Linear l(3, 2, rng);
+  Tensor x = Tensor::Constant(la::Matrix{{1, 0, 0}});
+  Tensor y = l.Forward(x);
+  EXPECT_EQ(y.rows(), 1u);
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_EQ(l.Params().size(), 2u);
+}
+
+TEST(LinearTest, LearnsLinearMap) {
+  Rng rng(3);
+  Linear l(2, 1, rng);
+  ad::Adam opt(l.Params(), 0.05);
+  for (int i = 0; i < 400; ++i) {
+    la::Matrix xv = la::Matrix::Random(1, 2, rng);
+    const double target = 3.0 * xv(0, 0) - 2.0 * xv(0, 1) + 0.5;
+    Tensor loss = ad::Mse(l.Forward(Tensor::Constant(xv)),
+                          Tensor::Constant(la::Matrix(1, 1, target)));
+    loss.Backward();
+    opt.Step();
+  }
+  la::Matrix probe{{1.0, 1.0}};
+  const double pred = l.Forward(Tensor::Constant(probe)).value()(0, 0);
+  EXPECT_NEAR(pred, 1.5, 0.1);
+}
+
+TEST(LstmCellTest, ShapesAndState) {
+  Rng rng(4);
+  LstmCell cell(3, 5, rng);
+  auto st = cell.InitialState();
+  EXPECT_EQ(st.h.cols(), 5u);
+  auto next = cell.Forward(Tensor::Constant(la::Matrix(1, 3, 0.5)), st);
+  EXPECT_EQ(next.h.cols(), 5u);
+  EXPECT_EQ(next.c.cols(), 5u);
+  EXPECT_TRUE(next.h.value().AllFinite());
+  // Hidden output of LSTM is bounded by tanh.
+  EXPECT_LE(next.h.value().MaxAbs(), 1.0);
+}
+
+TEST(LstmCellTest, StateEvolves) {
+  Rng rng(5);
+  LstmCell cell(2, 4, rng);
+  auto st = cell.InitialState();
+  auto s1 = cell.Forward(Tensor::Constant(la::Matrix(1, 2, 1.0)), st);
+  auto s2 = cell.Forward(Tensor::Constant(la::Matrix(1, 2, 1.0)), s1);
+  EXPECT_GT(la::Matrix::MaxAbsDiff(s1.h.value(), s2.h.value()), 1e-9);
+}
+
+TEST(LstmCellTest, LearnsToRememberFirstInput) {
+  // Task: output after 3 steps should equal the first step's input sign.
+  Rng rng(6);
+  LstmCell cell(1, 8, rng);
+  Linear head(8, 1, rng);
+  std::vector<Tensor> params = cell.Params();
+  AppendParams(&params, head.Params());
+  ad::Adam opt(params, 0.02);
+  double final_loss = 0.0;
+  for (int iter = 0; iter < 600; ++iter) {
+    const double v = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    auto st = cell.InitialState();
+    st = cell.Forward(Tensor::Constant(la::Matrix(1, 1, v)), st);
+    st = cell.Forward(Tensor::Constant(la::Matrix(1, 1, 0.0)), st);
+    st = cell.Forward(Tensor::Constant(la::Matrix(1, 1, 0.0)), st);
+    Tensor pred = head.Forward(st.h);
+    Tensor loss = ad::Mse(pred, Tensor::Constant(la::Matrix(1, 1, v)));
+    final_loss = loss.value()(0, 0);
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(final_loss, 0.3);
+}
+
+TEST(GruCellTest, ShapesAndBoundedOutput) {
+  Rng rng(7);
+  GruCell cell(3, 6, rng);
+  Tensor h = cell.InitialState();
+  h = cell.Forward(Tensor::Constant(la::Matrix(1, 3, 2.0)), h);
+  EXPECT_EQ(h.cols(), 6u);
+  EXPECT_LE(h.value().MaxAbs(), 1.0);  // convex combo of tanh and 0 state
+  EXPECT_EQ(cell.Params().size(), 6u);
+}
+
+TEST(GruCellTest, GradientsReachParameters) {
+  Rng rng(8);
+  GruCell cell(2, 3, rng);
+  Tensor h = cell.InitialState();
+  h = cell.Forward(Tensor::Constant(la::Matrix(1, 2, 1.0)), h);
+  h = cell.Forward(Tensor::Constant(la::Matrix(1, 2, -1.0)), h);
+  ad::Sum(h).Backward();
+  double total = 0;
+  for (const Tensor& p : cell.Params()) total += p.grad().MaxAbs();
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(MlpTest, ForwardShapeAndParams) {
+  Rng rng(9);
+  Mlp mlp({4, 8, 2}, rng);
+  Tensor y = mlp.Forward(Tensor::Constant(la::Matrix(1, 4, 0.1)));
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_EQ(mlp.Params().size(), 4u);  // 2 layers x (w, b)
+}
+
+TEST(MlpTest, LearnsXor) {
+  Rng rng(10);
+  Mlp mlp({2, 12, 1}, rng);
+  ad::Adam opt(mlp.Params(), 0.03);
+  const double xs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const double ys[4] = {0, 1, 1, 0};
+  for (int epoch = 0; epoch < 1500; ++epoch) {
+    const int i = epoch % 4;
+    Tensor x = Tensor::Constant(la::Matrix{{xs[i][0], xs[i][1]}});
+    Tensor loss = ad::Mse(mlp.Forward(x),
+                          Tensor::Constant(la::Matrix(1, 1, ys[i])));
+    loss.Backward();
+    opt.Step();
+  }
+  for (int i = 0; i < 4; ++i) {
+    Tensor x = Tensor::Constant(la::Matrix{{xs[i][0], xs[i][1]}});
+    const double pred = mlp.Forward(x).value()(0, 0);
+    EXPECT_NEAR(pred, ys[i], 0.3) << "case " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rmi::nn

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "positioning/estimators.h"
+
+namespace rmi::positioning {
+namespace {
+
+/// Complete 1-AP-per-corner map: fingerprints are smooth functions of the
+/// position, so all estimators should localize well.
+rmap::RadioMap GridMap(size_t side = 8) {
+  rmap::RadioMap map(4);
+  const geom::Point corners[4] = {{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+  for (size_t i = 0; i < side; ++i) {
+    for (size_t j = 0; j < side; ++j) {
+      rmap::Record r;
+      const geom::Point p{10.0 * i / (side - 1), 10.0 * j / (side - 1)};
+      r.rssi.resize(4);
+      for (size_t a = 0; a < 4; ++a) {
+        r.rssi[a] = -30.0 - 3.0 * geom::Distance(p, corners[a]);
+      }
+      r.has_rp = true;
+      r.rp = p;
+      r.time = static_cast<double>(i * side + j);
+      map.Add(r);
+    }
+  }
+  return map;
+}
+
+std::vector<double> FingerprintAt(const geom::Point& p) {
+  const geom::Point corners[4] = {{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+  std::vector<double> f(4);
+  for (size_t a = 0; a < 4; ++a) {
+    f[a] = -30.0 - 3.0 * geom::Distance(p, corners[a]);
+  }
+  return f;
+}
+
+TEST(KnnTest, ExactTrainingPointRecovered) {
+  auto map = GridMap();
+  KnnEstimator knn(1);
+  Rng rng(1);
+  knn.Fit(map, rng);
+  const geom::Point q{10.0 / 7.0 * 3, 10.0 / 7.0 * 4};
+  const geom::Point est = knn.Estimate(FingerprintAt(q));
+  EXPECT_NEAR(est.x, q.x, 1e-9);
+  EXPECT_NEAR(est.y, q.y, 1e-9);
+}
+
+TEST(KnnTest, MeanOfKNeighbors) {
+  // Two training points; query equidistant: k=2 mean is the midpoint.
+  rmap::RadioMap map(1);
+  auto add = [&](double rssi, double x) {
+    rmap::Record r;
+    r.rssi = {rssi};
+    r.has_rp = true;
+    r.rp = {x, 0};
+    r.time = x;
+    map.Add(r);
+  };
+  add(-40, 0.0);
+  add(-60, 10.0);
+  KnnEstimator knn(2);
+  Rng rng(2);
+  knn.Fit(map, rng);
+  EXPECT_NEAR(knn.Estimate({-50}).x, 5.0, 1e-9);
+}
+
+TEST(WknnTest, WeightsCloserNeighborsMore) {
+  rmap::RadioMap map(1);
+  auto add = [&](double rssi, double x) {
+    rmap::Record r;
+    r.rssi = {rssi};
+    r.has_rp = true;
+    r.rp = {x, 0};
+    r.time = x;
+    map.Add(r);
+  };
+  add(-40, 0.0);
+  add(-60, 10.0);
+  KnnEstimator wknn(2, /*weighted=*/true);
+  Rng rng(3);
+  wknn.Fit(map, rng);
+  // Query much closer to the first fingerprint.
+  const geom::Point est = wknn.Estimate({-42});
+  EXPECT_LT(est.x, 2.0);
+}
+
+TEST(WknnTest, InterpolatesOnGrid) {
+  auto map = GridMap();
+  KnnEstimator wknn(3, true);
+  Rng rng(4);
+  wknn.Fit(map, rng);
+  const geom::Point q{4.3, 6.1};
+  const geom::Point est = wknn.Estimate(FingerprintAt(q));
+  EXPECT_NEAR(geom::Distance(est, q), 0.0, 1.5);
+}
+
+TEST(KnnTest, IgnoresUnlabeledRecords) {
+  rmap::RadioMap map(1);
+  rmap::Record labeled;
+  labeled.rssi = {-40.0};
+  labeled.has_rp = true;
+  labeled.rp = {3, 3};
+  map.Add(labeled);
+  rmap::Record unlabeled;
+  unlabeled.rssi = {-40.0};
+  unlabeled.has_rp = false;
+  map.Add(unlabeled);
+  KnnEstimator knn(5);
+  Rng rng(5);
+  knn.Fit(map, rng);
+  const geom::Point est = knn.Estimate({-40.0});
+  EXPECT_DOUBLE_EQ(est.x, 3.0);
+}
+
+TEST(RandomForestTest, LearnsGridRegression) {
+  auto map = GridMap(10);
+  RandomForestEstimator rf;
+  Rng rng(6);
+  rf.Fit(map, rng);
+  double err = 0;
+  int count = 0;
+  for (double x : {2.0, 5.0, 8.0}) {
+    for (double y : {2.0, 5.0, 8.0}) {
+      const geom::Point q{x, y};
+      err += geom::Distance(rf.Estimate(FingerprintAt(q)), q);
+      ++count;
+    }
+  }
+  EXPECT_LT(err / count, 2.5);
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  auto map = GridMap();
+  RandomForestEstimator a, b;
+  Rng ra(7), rb(7);
+  a.Fit(map, ra);
+  b.Fit(map, rb);
+  const auto f = FingerprintAt({3, 3});
+  EXPECT_DOUBLE_EQ(a.Estimate(f).x, b.Estimate(f).x);
+  EXPECT_DOUBLE_EQ(a.Estimate(f).y, b.Estimate(f).y);
+}
+
+TEST(RandomForestTest, ConstantLabelsYieldConstantPrediction) {
+  rmap::RadioMap map(2);
+  Rng gen(8);
+  for (int i = 0; i < 20; ++i) {
+    rmap::Record r;
+    r.rssi = {gen.Uniform(-90, -30), gen.Uniform(-90, -30)};
+    r.has_rp = true;
+    r.rp = {4.0, 7.0};
+    r.time = i;
+    map.Add(r);
+  }
+  RandomForestEstimator rf;
+  Rng rng(9);
+  rf.Fit(map, rng);
+  const geom::Point est = rf.Estimate({-50, -50});
+  EXPECT_DOUBLE_EQ(est.x, 4.0);
+  EXPECT_DOUBLE_EQ(est.y, 7.0);
+}
+
+TEST(EstimatorNamesTest, PaperLabels) {
+  EXPECT_EQ(KnnEstimator(3, false).name(), "KNN");
+  EXPECT_EQ(KnnEstimator(3, true).name(), "WKNN");
+  EXPECT_EQ(RandomForestEstimator().name(), "RF");
+}
+
+class KnnKSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KnnKSweepTest, ReasonableAccuracyAcrossK) {
+  auto map = GridMap(8);
+  KnnEstimator knn(GetParam(), true);
+  Rng rng(10);
+  knn.Fit(map, rng);
+  const geom::Point q{5.1, 5.2};
+  EXPECT_LT(geom::Distance(knn.Estimate(FingerprintAt(q)), q), 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KnnKSweepTest, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace rmi::positioning

@@ -1,0 +1,144 @@
+// Property-based imputer contract checks: every imputer, on randomized
+// sparse radio maps, must (a) produce a complete map, (b) preserve observed
+// values, (c) stay inside the legal RSSI range, (d) be deterministic for a
+// fixed seed.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/missing.h"
+#include "imputers/autocorrelation.h"
+#include "imputers/neural.h"
+#include "imputers/traditional.h"
+
+namespace rmi::imputers {
+namespace {
+
+/// Random sparse radio map with path/time structure.
+rmap::RadioMap RandomMap(Rng& rng, size_t paths, size_t per_path, size_t d) {
+  rmap::RadioMap map(d);
+  for (size_t p = 0; p < paths; ++p) {
+    double t = 0.0;
+    for (size_t i = 0; i < per_path; ++i) {
+      t += rng.Uniform(0.5, 3.0);
+      rmap::Record r;
+      r.rssi.assign(d, kNull);
+      for (size_t j = 0; j < d; ++j) {
+        if (rng.Bernoulli(0.35)) r.rssi[j] = rng.Uniform(-95, -40);
+      }
+      r.has_rp = rng.Bernoulli(0.3);
+      if (r.has_rp) r.rp = {rng.Uniform(0, 40), rng.Uniform(0, 40)};
+      r.time = t;
+      r.path_id = p;
+      map.Add(r);
+    }
+  }
+  // Guarantee at least one observed RP (estimator/interpolation anchors).
+  if (!map.empty()) {
+    map.record(0).has_rp = true;
+    map.record(0).rp = {1.0, 1.0};
+  }
+  return map;
+}
+
+rmap::MaskMatrix AllMarMask(const rmap::RadioMap& map) {
+  rmap::MaskMatrix mask(map.size(), map.num_aps());
+  for (size_t i = 0; i < map.size(); ++i) {
+    for (size_t j = 0; j < map.num_aps(); ++j) {
+      if (IsNull(map.record(i).rssi[j])) mask.set(i, j, rmap::MaskValue::kMar);
+    }
+  }
+  return mask;
+}
+
+std::unique_ptr<Imputer> MakeByIndex(int idx) {
+  switch (idx) {
+    case 0:
+      return std::make_unique<CaseDeletionImputer>();
+    case 1:
+      return std::make_unique<LinearInterpolationImputer>();
+    case 2:
+      return std::make_unique<SemiSupervisedImputer>(3, 2);
+    case 3:
+      return std::make_unique<MiceImputer>();
+    case 4: {
+      MatrixFactorizationImputer::Params p;
+      p.max_epochs = 25;
+      return std::make_unique<MatrixFactorizationImputer>(p);
+    }
+    case 5: {
+      NeuralParams p;
+      p.epochs = 2;
+      p.hidden = 6;
+      return std::make_unique<BritsImputer>(p);
+    }
+    default: {
+      SsganImputer::Params p;
+      p.epochs = 2;
+      p.hidden = 6;
+      return std::make_unique<SsganImputer>(p);
+    }
+  }
+}
+
+class ImputerContractTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ImputerContractTest, CompleteInRangeObservedPreserving) {
+  auto [imputer_idx, seed] = GetParam();
+  Rng gen(static_cast<uint64_t>(5000 + seed));
+  rmap::RadioMap map = RandomMap(gen, 3, 8, 5);
+  rmap::MaskMatrix mask = AllMarMask(map);
+  auto imputer = MakeByIndex(imputer_idx);
+  Rng rng(1);
+  const rmap::RadioMap out = imputer->Impute(map, mask, rng);
+
+  const bool may_delete = imputer->name() == "CD";
+  if (!may_delete) ASSERT_EQ(out.size(), map.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(out.record(i).has_rp);
+    for (double v : out.record(i).rssi) {
+      ASSERT_FALSE(IsNull(v)) << imputer->name();
+      EXPECT_GE(v, -100.0) << imputer->name();
+      EXPECT_LE(v, 0.0) << imputer->name();
+    }
+  }
+  // Observed values preserved (matched by record id).
+  for (size_t i = 0; i < out.size(); ++i) {
+    const size_t id = out.record(i).id;
+    const rmap::Record& orig = map.record(id);  // id == index in source map
+    for (size_t j = 0; j < map.num_aps(); ++j) {
+      if (!IsNull(orig.rssi[j])) {
+        EXPECT_DOUBLE_EQ(out.record(i).rssi[j], orig.rssi[j])
+            << imputer->name();
+      }
+    }
+  }
+}
+
+TEST_P(ImputerContractTest, DeterministicForFixedSeed) {
+  auto [imputer_idx, seed] = GetParam();
+  if (seed != 0) GTEST_SKIP() << "determinism checked once per imputer";
+  Rng gen(6000);
+  rmap::RadioMap map = RandomMap(gen, 2, 6, 4);
+  rmap::MaskMatrix mask = AllMarMask(map);
+  auto imputer = MakeByIndex(imputer_idx);
+  Rng r1(9), r2(9);
+  const rmap::RadioMap a = imputer->Impute(map, mask, r1);
+  const rmap::RadioMap b = imputer->Impute(map, mask, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < map.num_aps(); ++j) {
+      EXPECT_DOUBLE_EQ(a.record(i).rssi[j], b.record(i).rssi[j])
+          << imputer->name();
+    }
+    EXPECT_DOUBLE_EQ(a.record(i).rp.x, b.record(i).rp.x) << imputer->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ImputerContractTest,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Range(0, 3)));
+
+}  // namespace
+}  // namespace rmi::imputers

@@ -1,0 +1,169 @@
+// Property-based checks of the Section II-B radio-map creation: invariants
+// that must hold for *any* walking-survey record table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/missing.h"
+#include "survey/survey.h"
+
+namespace rmi::survey {
+namespace {
+
+constexpr size_t kNumAps = 6;
+
+/// Random record table: RP and RSSI records at increasing times.
+PathRecordTable RandomTable(Rng& rng, size_t n) {
+  PathRecordTable table;
+  double t = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    t += rng.Uniform(0.1, 3.0);
+    SurveyRecord r;
+    r.time = t;
+    r.true_position = {t, 0.0};
+    if (rng.Bernoulli(0.3)) {
+      r.is_rp = true;
+      r.rp = {rng.Uniform(0, 50), rng.Uniform(0, 50)};
+    } else {
+      r.is_rp = false;
+      for (size_t ap = 0; ap < kNumAps; ++ap) {
+        if (rng.Bernoulli(0.4)) {
+          r.rssi.emplace_back(ap, rng.Uniform(-95, -40));
+        }
+      }
+    }
+    table.records.push_back(std::move(r));
+  }
+  return table;
+}
+
+/// Sum of per-AP measurement values in the raw table (merging averages
+/// common APs, so we check a weaker but exact invariant below instead).
+size_t CountRawMeasurements(const PathRecordTable& table) {
+  size_t n = 0;
+  for (const auto& r : table.records) n += r.rssi.size();
+  return n;
+}
+
+class SurveyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SurveyPropertyTest, EveryObservedApSurvivesMerging) {
+  Rng rng(3000 + GetParam());
+  const auto table = RandomTable(rng, 30);
+  std::vector<geom::Point> positions;
+  const auto records = CreateRadioMapRecords(table, kNumAps, 1.0, &positions);
+
+  // Each AP observed in the raw table must be observed in the output (in
+  // some record), and vice versa.
+  std::vector<bool> raw_seen(kNumAps, false), out_seen(kNumAps, false);
+  for (const auto& r : table.records) {
+    for (const auto& [ap, v] : r.rssi) raw_seen[ap] = true;
+  }
+  for (const auto& r : records) {
+    for (size_t ap = 0; ap < kNumAps; ++ap) {
+      if (!IsNull(r.rssi[ap])) out_seen[ap] = true;
+    }
+  }
+  EXPECT_EQ(raw_seen, out_seen);
+}
+
+TEST_P(SurveyPropertyTest, ValuesStayWithinRawRange) {
+  // Merged values are averages of raw values, so per AP the output range
+  // is inside the raw [min, max].
+  Rng rng(3100 + GetParam());
+  const auto table = RandomTable(rng, 40);
+  std::vector<geom::Point> positions;
+  const auto records = CreateRadioMapRecords(table, kNumAps, 1.5, &positions);
+  for (size_t ap = 0; ap < kNumAps; ++ap) {
+    double lo = 1e300, hi = -1e300;
+    for (const auto& r : table.records) {
+      for (const auto& [a, v] : r.rssi) {
+        if (a == ap) {
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+      }
+    }
+    for (const auto& r : records) {
+      if (!IsNull(r.rssi[ap])) {
+        EXPECT_GE(r.rssi[ap], lo - 1e-9);
+        EXPECT_LE(r.rssi[ap], hi + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(SurveyPropertyTest, OutputTimesAreNonDecreasing) {
+  Rng rng(3200 + GetParam());
+  const auto table = RandomTable(rng, 25);
+  std::vector<geom::Point> positions;
+  const auto records = CreateRadioMapRecords(table, kNumAps, 1.0, &positions);
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].time, records[i].time);
+  }
+}
+
+TEST_P(SurveyPropertyTest, EveryRpSurvivesOrMerges) {
+  // Number of output records with an RP equals the number of raw RP
+  // records that were not merged into... actually every raw RP record
+  // produces exactly one output record with an RP (merging attaches it to
+  // an RSSI record; it never disappears and never duplicates), except when
+  // two RP records are adjacent — they cannot merge with each other, so
+  // the count is exact.
+  Rng rng(3300 + GetParam());
+  const auto table = RandomTable(rng, 35);
+  size_t raw_rps = 0;
+  for (const auto& r : table.records) raw_rps += r.is_rp;
+  std::vector<geom::Point> positions;
+  const auto records = CreateRadioMapRecords(table, kNumAps, 1.0, &positions);
+  size_t out_rps = 0;
+  for (const auto& r : records) out_rps += r.has_rp;
+  EXPECT_EQ(out_rps, raw_rps);
+}
+
+TEST_P(SurveyPropertyTest, RecordCountShrinksMonotonicallyWithEpsilon) {
+  Rng rng(3400 + GetParam());
+  const auto table = RandomTable(rng, 40);
+  std::vector<geom::Point> positions;
+  size_t prev = table.records.size() + 1;
+  for (double eps : {0.0, 0.5, 1.0, 2.0, 5.0}) {
+    const auto records = CreateRadioMapRecords(table, kNumAps, eps, &positions);
+    EXPECT_LE(records.size(), prev);
+    prev = records.size();
+  }
+}
+
+TEST_P(SurveyPropertyTest, GroundTruthPositionsAligned) {
+  Rng rng(3500 + GetParam());
+  const auto table = RandomTable(rng, 30);
+  std::vector<geom::Point> positions;
+  const auto records = CreateRadioMapRecords(table, kNumAps, 1.0, &positions);
+  ASSERT_EQ(records.size(), positions.size());
+  // The ground-truth position of each output record is the true position
+  // of some raw record with the same time.
+  std::map<double, geom::Point> by_time;
+  for (const auto& r : table.records) by_time[r.time] = r.true_position;
+  for (size_t i = 0; i < records.size(); ++i) {
+    auto it = by_time.find(records[i].time);
+    ASSERT_NE(it, by_time.end());
+    EXPECT_DOUBLE_EQ(positions[i].x, it->second.x);
+  }
+}
+
+TEST_P(SurveyPropertyTest, MergedRecordsPreserveMeasurementMass) {
+  // With epsilon = 0 nothing merges: the output observation count equals
+  // the raw per-(record, AP) distinct count.
+  Rng rng(3600 + GetParam());
+  const auto table = RandomTable(rng, 30);
+  std::vector<geom::Point> positions;
+  const auto records = CreateRadioMapRecords(table, kNumAps, 0.0, &positions);
+  size_t out_obs = 0;
+  for (const auto& r : records) out_obs += r.NumObserved();
+  EXPECT_EQ(out_obs, CountRawMeasurements(table));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SurveyPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace rmi::survey

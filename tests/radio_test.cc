@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/missing.h"
+#include "common/rng.h"
+#include "indoor/venue.h"
+#include "radio/propagation.h"
+
+namespace rmi::radio {
+namespace {
+
+indoor::Venue TestVenue() {
+  indoor::VenueSpec s;
+  s.width = 30;
+  s.height = 30;
+  s.rooms_x = 2;
+  s.rooms_y = 2;
+  s.hallway_width = 3;
+  s.num_aps = 15;
+  s.rp_spacing = 4;
+  s.seed = 2;
+  return indoor::GenerateVenue(s);
+}
+
+TEST(PropagationTest, DeterministicMeanRssi) {
+  indoor::Venue v = TestVenue();
+  PropagationModel m1(&v, PropagationParams{});
+  PropagationModel m2(&v, PropagationParams{});
+  for (size_t ap = 0; ap < 5; ++ap) {
+    EXPECT_DOUBLE_EQ(m1.MeanRssi(ap, {10, 10}), m2.MeanRssi(ap, {10, 10}));
+  }
+}
+
+TEST(PropagationTest, SignalDecaysWithDistanceOnAverage) {
+  indoor::Venue v = TestVenue();
+  PropagationParams p;
+  p.shadowing_stddev = 0.0;  // isolate the path-loss term
+  PropagationModel m(&v, p);
+  const geom::Point ap_pos = v.aps[0].position;
+  // Sample along a ray from the AP; mean RSSI must be non-increasing in
+  // distance when wall counts are equal, and strictly lower far away.
+  const double near = m.MeanRssi(0, {ap_pos.x + 1.0, ap_pos.y});
+  const double far = m.MeanRssi(0, {ap_pos.x + 14.0, ap_pos.y});
+  EXPECT_GT(near, far);
+}
+
+TEST(PropagationTest, WithinOneMeterUsesFloorDistance) {
+  indoor::Venue v = TestVenue();
+  PropagationParams p;
+  p.shadowing_stddev = 0.0;
+  PropagationModel m(&v, p);
+  const geom::Point ap_pos = v.aps[0].position;
+  // At the AP itself distance clamps to 1 m: close to TX power (modulo
+  // walls at the quantized cell, normally zero at the AP's own cell).
+  const double at_ap = m.MeanRssi(0, ap_pos);
+  EXPECT_LE(at_ap, p.tx_power_1m_dbm + 1e-9);
+  EXPECT_GT(at_ap, p.tx_power_1m_dbm - 3 * p.wall_attenuation_dbm);
+}
+
+TEST(PropagationTest, WallsAttenuate) {
+  // Two-room venue with one AP; a point behind a wall sees a weaker mean
+  // signal than an equidistant point with line of sight.
+  indoor::VenueSpec s;
+  s.width = 24;
+  s.height = 24;
+  s.rooms_x = 1;
+  s.rooms_y = 1;
+  s.hallway_width = 6;
+  s.num_aps = 1;
+  s.seed = 3;
+  indoor::Venue v = indoor::GenerateVenue(s);
+  // Place the AP in the hallway south of the room by overriding.
+  v.aps[0].position = {12.0, 3.0};
+  PropagationParams p;
+  p.shadowing_stddev = 0.0;
+  p.wall_attenuation_dbm = 10.0;
+  PropagationModel m(&v, p);
+  // Room interior point offset from the door (the door gap is at x = 12),
+  // so the signal path crosses the room wall; the hallway point is at the
+  // same distance with clear line of sight.
+  const double through_wall = m.MeanRssi(0, {8.5, 13.0});
+  const double open = m.MeanRssi(0, {1.5, 3.0});
+  EXPECT_LT(through_wall, open - 5.0);
+}
+
+TEST(PropagationTest, ObservabilityThreshold) {
+  indoor::Venue v = TestVenue();
+  PropagationModel m(&v, PropagationParams{});
+  for (size_t ap = 0; ap < v.aps.size(); ++ap) {
+    for (const auto& rp : v.rps) {
+      EXPECT_EQ(m.IsObservable(ap, rp),
+                m.MeanRssi(ap, rp) >= m.params().sensitivity_dbm);
+    }
+  }
+}
+
+TEST(PropagationTest, SampleRssiClampedAndNoisy) {
+  indoor::Venue v = TestVenue();
+  PropagationModel m(&v, PropagationParams{});
+  Rng rng(4);
+  // Find an observable (ap, rp) pair.
+  for (size_t ap = 0; ap < v.aps.size(); ++ap) {
+    for (const auto& rp : v.rps) {
+      if (!m.IsObservable(ap, rp)) continue;
+      double min_v = 0, max_v = -200;
+      for (int i = 0; i < 50; ++i) {
+        const double s = m.SampleRssi(ap, rp, rng);
+        EXPECT_GE(s, kMinObservableRssiDbm);
+        EXPECT_LE(s, kMaxObservableRssiDbm);
+        min_v = std::min(min_v, s);
+        max_v = std::max(max_v, s);
+      }
+      EXPECT_GT(max_v - min_v, 0.0);  // noise present
+      return;
+    }
+  }
+  FAIL() << "no observable pair found";
+}
+
+TEST(PropagationTest, ObservableFractionIsSparse) {
+  // The MNAR mechanism must make most (RP, AP) pairs unobservable —
+  // otherwise radio maps would not be sparse like the paper's (85%+
+  // missing).
+  indoor::Venue v = indoor::GenerateVenue(indoor::KaideSpec(0.1));
+  PropagationModel m(&v, PropagationParams{});
+  const double frac = m.ObservableFraction();
+  EXPECT_GT(frac, 0.01);
+  EXPECT_LT(frac, 0.40);
+}
+
+TEST(PropagationTest, BluetoothProfileIsWeaker) {
+  indoor::Venue v = TestVenue();
+  PropagationParams wifi;
+  wifi.shadowing_stddev = 0.0;
+  PropagationParams bt = PropagationParams::Bluetooth();
+  bt.shadowing_stddev = 0.0;
+  PropagationModel mw(&v, wifi), mb(&v, bt);
+  // At 10 m, Bluetooth mean RSSI is far below Wi-Fi's.
+  const geom::Point p{v.aps[0].position.x + 10.0, v.aps[0].position.y};
+  EXPECT_LT(mb.MeanRssi(0, p), mw.MeanRssi(0, p));
+}
+
+TEST(PropagationTest, ShadowingIsStaticPerCell) {
+  indoor::Venue v = TestVenue();
+  PropagationModel m(&v, PropagationParams{});
+  // Same cell => identical mean (static environment), repeated calls too.
+  const double a = m.MeanRssi(3, {10.3, 10.4});
+  const double b = m.MeanRssi(3, {10.3, 10.4});
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(PropagationTest, MarDropFrequencyMatchesParam) {
+  indoor::Venue v = TestVenue();
+  PropagationParams p;
+  p.mar_drop_prob = 0.25;
+  PropagationModel m(&v, p);
+  Rng rng(5);
+  int drops = 0;
+  for (int i = 0; i < 20000; ++i) drops += m.SampleMarDrop(rng);
+  EXPECT_NEAR(drops / 20000.0, 0.25, 0.02);
+}
+
+TEST(PropagationTest, SpatialClusteringOfObservability) {
+  // MNAR regions are spatially coherent: two RPs within 2 m agree on
+  // observability much more often than random RP pairs (cf. paper Fig. 3).
+  indoor::Venue v = indoor::GenerateVenue(indoor::KaideSpec(0.05));
+  PropagationModel m(&v, PropagationParams{});
+  size_t near_agree = 0, near_total = 0, far_agree = 0, far_total = 0;
+  for (size_t i = 0; i < v.rps.size(); ++i) {
+    for (size_t j = i + 1; j < v.rps.size(); ++j) {
+      const double d = geom::Distance(v.rps[i], v.rps[j]);
+      for (size_t ap = 0; ap < v.aps.size(); ++ap) {
+        const bool agree = m.IsObservable(ap, v.rps[i]) == m.IsObservable(ap, v.rps[j]);
+        if (d < 3.0) {
+          near_agree += agree;
+          ++near_total;
+        } else if (d > 20.0) {
+          far_agree += agree;
+          ++far_total;
+        }
+      }
+    }
+  }
+  ASSERT_GT(near_total, 0u);
+  ASSERT_GT(far_total, 0u);
+  EXPECT_GT(static_cast<double>(near_agree) / near_total,
+            static_cast<double>(far_agree) / far_total);
+}
+
+}  // namespace
+}  // namespace rmi::radio

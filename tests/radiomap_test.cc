@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "common/missing.h"
+#include "radiomap/radio_map.h"
+
+namespace rmi::rmap {
+namespace {
+
+Record MakeRecord(std::vector<double> rssi, bool has_rp, geom::Point rp,
+                  double time, size_t path = 0) {
+  Record r;
+  r.rssi = std::move(rssi);
+  r.has_rp = has_rp;
+  r.rp = rp;
+  r.time = time;
+  r.path_id = path;
+  return r;
+}
+
+TEST(RadioMapTest, AddAssignsStableIds) {
+  RadioMap m(2);
+  m.Add(MakeRecord({kNull, -50}, true, {1, 1}, 0));
+  m.Add(MakeRecord({-60, kNull}, false, {}, 1));
+  EXPECT_EQ(m.record(0).id, 0u);
+  EXPECT_EQ(m.record(1).id, 1u);
+  // Copy preserves ids; re-adding an identified record keeps its id.
+  RadioMap copy(2);
+  copy.Add(m.record(1));
+  EXPECT_EQ(copy.record(0).id, 1u);
+}
+
+TEST(RadioMapTest, MissingRates) {
+  RadioMap m(2);
+  m.Add(MakeRecord({kNull, -50}, true, {1, 1}, 0));
+  m.Add(MakeRecord({kNull, kNull}, false, {}, 1));
+  EXPECT_DOUBLE_EQ(m.MissingRssiRate(), 0.75);
+  EXPECT_DOUBLE_EQ(m.MissingRpRate(), 0.5);
+}
+
+TEST(RadioMapTest, NumObserved) {
+  Record r = MakeRecord({-10, kNull, -20}, false, {}, 0);
+  EXPECT_EQ(r.NumObserved(), 2u);
+}
+
+TEST(RadioMapTest, PathSequencesGroupAndSort) {
+  RadioMap m(1);
+  m.Add(MakeRecord({-1}, false, {}, 5.0, /*path=*/1));
+  m.Add(MakeRecord({-2}, false, {}, 2.0, /*path=*/0));
+  m.Add(MakeRecord({-3}, false, {}, 3.0, /*path=*/1));
+  m.Add(MakeRecord({-4}, false, {}, 1.0, /*path=*/0));
+  const auto seqs = m.PathSequences();
+  ASSERT_EQ(seqs.size(), 2u);
+  // Path 0: times 1.0 (idx 3) then 2.0 (idx 1).
+  EXPECT_EQ(seqs[0], (std::vector<size_t>{3, 1}));
+  // Path 1: times 3.0 (idx 2) then 5.0 (idx 0).
+  EXPECT_EQ(seqs[1], (std::vector<size_t>{2, 0}));
+}
+
+TEST(RadioMapTest, InterpolatedRpsLinearInTime) {
+  RadioMap m(1);
+  m.Add(MakeRecord({-1}, true, {0, 0}, 0.0));
+  m.Add(MakeRecord({-1}, false, {}, 1.0));
+  m.Add(MakeRecord({-1}, false, {}, 3.0));
+  m.Add(MakeRecord({-1}, true, {4, 8}, 4.0));
+  const auto rps = m.InterpolatedRps();
+  EXPECT_DOUBLE_EQ(rps[1].x, 1.0);
+  EXPECT_DOUBLE_EQ(rps[1].y, 2.0);
+  EXPECT_DOUBLE_EQ(rps[2].x, 3.0);
+  EXPECT_DOUBLE_EQ(rps[2].y, 6.0);
+}
+
+TEST(RadioMapTest, InterpolatedRpsClampAtEndpoints) {
+  RadioMap m(1);
+  m.Add(MakeRecord({-1}, false, {}, 0.0));
+  m.Add(MakeRecord({-1}, true, {2, 2}, 1.0));
+  m.Add(MakeRecord({-1}, false, {}, 2.0));
+  const auto rps = m.InterpolatedRps();
+  EXPECT_DOUBLE_EQ(rps[0].x, 2.0);  // clamps to first observed
+  EXPECT_DOUBLE_EQ(rps[2].x, 2.0);  // clamps to last observed
+}
+
+TEST(RadioMapTest, InterpolatedRpsCentroidFallback) {
+  RadioMap m(1);
+  m.Add(MakeRecord({-1}, true, {2, 0}, 0.0, /*path=*/0));
+  m.Add(MakeRecord({-1}, true, {4, 0}, 1.0, /*path=*/0));
+  m.Add(MakeRecord({-1}, false, {}, 0.0, /*path=*/1));  // path with no RP
+  const auto rps = m.InterpolatedRps();
+  EXPECT_DOUBLE_EQ(rps[2].x, 3.0);  // centroid of observed RPs
+}
+
+TEST(MaskMatrixTest, SetGetCount) {
+  MaskMatrix m(2, 3);
+  EXPECT_EQ(m.at(0, 0), MaskValue::kObserved);
+  m.set(0, 1, MaskValue::kMar);
+  m.set(1, 2, MaskValue::kMnar);
+  EXPECT_EQ(m.at(0, 1), MaskValue::kMar);
+  EXPECT_EQ(m.at(1, 2), MaskValue::kMnar);
+  EXPECT_EQ(m.CountOf(MaskValue::kObserved), 4u);
+  EXPECT_EQ(m.CountOf(MaskValue::kMar), 1u);
+  EXPECT_EQ(m.CountOf(MaskValue::kMnar), 1u);
+}
+
+TEST(MaskMatrixTest, MarShareOfMissing) {
+  MaskMatrix m(1, 4);
+  m.set(0, 0, MaskValue::kMar);
+  m.set(0, 1, MaskValue::kMnar);
+  m.set(0, 2, MaskValue::kMnar);
+  EXPECT_NEAR(m.MarShareOfMissing(), 1.0 / 3.0, 1e-12);
+  MaskMatrix none(1, 1);
+  EXPECT_DOUBLE_EQ(none.MarShareOfMissing(), 0.0);
+}
+
+TEST(BinarizationTest, Algorithm1) {
+  const auto b = Binarization({-70.0, kNull, 0.0, kNull});
+  EXPECT_EQ(b, (std::vector<uint8_t>{1, 0, 1, 0}));
+}
+
+TEST(RemoveRandomRssisTest, RemovesExactFraction) {
+  RadioMap m(4);
+  for (int i = 0; i < 25; ++i) {
+    m.Add(MakeRecord({-10, -20, -30, -40}, false, {}, i));
+  }
+  Rng rng(1);
+  const auto removed = RemoveRandomRssis(&m, 0.25, rng);
+  EXPECT_EQ(removed.size(), 25u);  // 100 observed cells * 0.25
+  EXPECT_NEAR(m.MissingRssiRate(), 0.25, 1e-12);
+  // Removed values recorded faithfully.
+  for (const auto& cell : removed) {
+    EXPECT_TRUE(IsNull(m.record(cell.record).rssi[cell.ap]));
+    EXPECT_LT(cell.value, 0.0);
+  }
+}
+
+TEST(RemoveRandomRssisTest, ZeroAndFullRatio) {
+  RadioMap m(2);
+  m.Add(MakeRecord({-10, -20}, false, {}, 0));
+  Rng rng(2);
+  EXPECT_TRUE(RemoveRandomRssis(&m, 0.0, rng).empty());
+  const auto removed = RemoveRandomRssis(&m, 1.0, rng);
+  EXPECT_EQ(removed.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.MissingRssiRate(), 1.0);
+}
+
+TEST(RemoveRandomRpsTest, RemovesAndRecords) {
+  RadioMap m(1);
+  for (int i = 0; i < 10; ++i) {
+    m.Add(MakeRecord({-1}, true, {double(i), 0}, i));
+  }
+  Rng rng(3);
+  const auto removed = RemoveRandomRps(&m, 0.5, rng);
+  EXPECT_EQ(removed.size(), 5u);
+  EXPECT_DOUBLE_EQ(m.MissingRpRate(), 0.5);
+  for (const auto& cell : removed) {
+    EXPECT_FALSE(m.record(cell.record).has_rp);
+    EXPECT_DOUBLE_EQ(cell.rp.x, static_cast<double>(cell.record));
+  }
+}
+
+}  // namespace
+}  // namespace rmi::rmap

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/missing.h"
+#include "survey/survey.h"
+
+namespace rmi::survey {
+namespace {
+
+/// The paper's walking-survey example (Table II): two RP records, five RSSI
+/// records, epsilon = 1 s; expected radio map records are Table III.
+PathRecordTable PaperTableII() {
+  PathRecordTable table;
+  table.path_id = 0;
+  auto rp = [&](double t, double x, double y) {
+    SurveyRecord r;
+    r.time = t;
+    r.is_rp = true;
+    r.rp = {x, y};
+    r.true_position = {x, y};
+    table.records.push_back(r);
+  };
+  auto rssi = [&](double t, std::vector<std::pair<size_t, double>> vals) {
+    SurveyRecord r;
+    r.time = t;
+    r.is_rp = false;
+    r.rssi = std::move(vals);
+    r.true_position = {t, 0.0};
+    table.records.push_back(r);
+  };
+  rp(0, 1.0, 1.0);                                   // t1: (x1, y1)
+  rssi(1, {{0, -70}, {1, -83}, {2, -76}});           // t2
+  rssi(3, {{0, -71}, {2, -78}});                     // t3
+  rssi(8, {{2, -80}, {3, -68}});                     // t4
+  rp(9, 5.0, 5.0);                                   // t5: (x5, y5)
+  rssi(12, {{0, -74}, {4, -80}});                    // t6
+  rssi(13, {{1, -77}, {4, -82}});                    // t7
+  rp(16, 8.0, 8.0);                                  // t8: (x8, y8)
+  return table;
+}
+
+TEST(RadioMapCreationTest, ReproducesPaperTableIII) {
+  std::vector<geom::Point> positions;
+  const auto records =
+      CreateRadioMapRecords(PaperTableII(), /*num_aps=*/5, /*epsilon_s=*/1.0,
+                            &positions);
+  ASSERT_EQ(records.size(), 5u);
+  ASSERT_EQ(positions.size(), 5u);
+
+  // Record 1: ((-70, -83, -76, null, null), (x1, y1)) at t2 = 1.
+  EXPECT_DOUBLE_EQ(records[0].rssi[0], -70);
+  EXPECT_DOUBLE_EQ(records[0].rssi[1], -83);
+  EXPECT_DOUBLE_EQ(records[0].rssi[2], -76);
+  EXPECT_TRUE(IsNull(records[0].rssi[3]));
+  EXPECT_TRUE(IsNull(records[0].rssi[4]));
+  ASSERT_TRUE(records[0].has_rp);
+  EXPECT_DOUBLE_EQ(records[0].rp.x, 1.0);
+  EXPECT_DOUBLE_EQ(records[0].time, 1.0);
+
+  // Record 2: ((-71, null, -78, null, null), null) at t3 = 3.
+  EXPECT_DOUBLE_EQ(records[1].rssi[0], -71);
+  EXPECT_TRUE(IsNull(records[1].rssi[1]));
+  EXPECT_DOUBLE_EQ(records[1].rssi[2], -78);
+  EXPECT_FALSE(records[1].has_rp);
+  EXPECT_DOUBLE_EQ(records[1].time, 3.0);
+
+  // Record 3: ((null, null, -80, -68, null), (x5, y5)) at t4 = 8.
+  EXPECT_TRUE(IsNull(records[2].rssi[0]));
+  EXPECT_DOUBLE_EQ(records[2].rssi[2], -80);
+  EXPECT_DOUBLE_EQ(records[2].rssi[3], -68);
+  ASSERT_TRUE(records[2].has_rp);
+  EXPECT_DOUBLE_EQ(records[2].rp.x, 5.0);
+  EXPECT_DOUBLE_EQ(records[2].time, 8.0);
+
+  // Record 4: ((-74, -77, null, null, -81), null) at t6 = 12 — Step 1
+  // merged t6 and t7, averaging the common AP r5.
+  EXPECT_DOUBLE_EQ(records[3].rssi[0], -74);
+  EXPECT_DOUBLE_EQ(records[3].rssi[1], -77);
+  EXPECT_TRUE(IsNull(records[3].rssi[2]));
+  EXPECT_TRUE(IsNull(records[3].rssi[3]));
+  EXPECT_DOUBLE_EQ(records[3].rssi[4], -81);
+  EXPECT_FALSE(records[3].has_rp);
+  EXPECT_DOUBLE_EQ(records[3].time, 12.0);
+
+  // Record 5: ((null x5), (x8, y8)) at t8 = 16.
+  for (size_t j = 0; j < 5; ++j) EXPECT_TRUE(IsNull(records[4].rssi[j]));
+  ASSERT_TRUE(records[4].has_rp);
+  EXPECT_DOUBLE_EQ(records[4].rp.x, 8.0);
+  EXPECT_DOUBLE_EQ(records[4].time, 16.0);
+}
+
+TEST(RadioMapCreationTest, EmptyTable) {
+  PathRecordTable table;
+  std::vector<geom::Point> positions;
+  EXPECT_TRUE(CreateRadioMapRecords(table, 3, 1.0, &positions).empty());
+}
+
+TEST(RadioMapCreationTest, LargeEpsilonMergesAggressively) {
+  std::vector<geom::Point> positions;
+  const auto records =
+      CreateRadioMapRecords(PaperTableII(), 5, /*epsilon_s=*/100.0, &positions);
+  // With epsilon = 100 every consecutive RSSI chain merges into one record.
+  EXPECT_LT(records.size(), 5u);
+}
+
+TEST(RadioMapCreationTest, ZeroEpsilonMergesNothingApart) {
+  std::vector<geom::Point> positions;
+  const auto records =
+      CreateRadioMapRecords(PaperTableII(), 5, /*epsilon_s=*/0.0, &positions);
+  // Nothing within 0 s: every raw record survives on its own.
+  EXPECT_EQ(records.size(), 8u);
+}
+
+class SurveySimTest : public ::testing::Test {
+ protected:
+  SurveySimTest() {
+    indoor::VenueSpec vs;
+    vs.width = 30;
+    vs.height = 30;
+    vs.rooms_x = 2;
+    vs.rooms_y = 2;
+    vs.hallway_width = 3;
+    vs.num_aps = 25;
+    vs.rp_spacing = 4;
+    vs.seed = 3;
+    venue_ = indoor::GenerateVenue(vs);
+  }
+  indoor::Venue venue_;
+};
+
+TEST_F(SurveySimTest, ProducesSortedTimestampedRecords) {
+  radio::PropagationModel model(&venue_, radio::PropagationParams{});
+  SurveySpec spec;
+  spec.rounds = 1;
+  Rng rng(4);
+  const auto tables = SimulateSurvey(venue_, model, spec, rng);
+  ASSERT_FALSE(tables.empty());
+  for (const auto& t : tables) {
+    for (size_t i = 1; i < t.records.size(); ++i) {
+      EXPECT_LE(t.records[i - 1].time, t.records[i].time);
+    }
+  }
+}
+
+TEST_F(SurveySimTest, RoundsMultiplyTables) {
+  radio::PropagationModel model(&venue_, radio::PropagationParams{});
+  SurveySpec s1, s3;
+  s1.rounds = 1;
+  s3.rounds = 3;
+  Rng r1(5), r3(5);
+  const auto t1 = SimulateSurvey(venue_, model, s1, r1);
+  const auto t3 = SimulateSurvey(venue_, model, s3, r3);
+  EXPECT_NEAR(static_cast<double>(t3.size()),
+              3.0 * static_cast<double>(t1.size()), 2.0);
+}
+
+TEST_F(SurveySimTest, RpKeepFractionThinsRpRecords) {
+  radio::PropagationModel model(&venue_, radio::PropagationParams{});
+  SurveySpec full, thin;
+  full.rounds = 3;
+  thin.rounds = 3;
+  thin.rp_keep_fraction = 0.3;
+  Rng ra(6), rb(6);
+  auto count_rp = [](const std::vector<PathRecordTable>& ts) {
+    size_t n = 0;
+    for (const auto& t : ts) {
+      for (const auto& r : t.records) n += r.is_rp;
+    }
+    return n;
+  };
+  const size_t full_n = count_rp(SimulateSurvey(venue_, model, full, ra));
+  const size_t thin_n = count_rp(SimulateSurvey(venue_, model, thin, rb));
+  EXPECT_LT(static_cast<double>(thin_n), 0.6 * static_cast<double>(full_n));
+}
+
+TEST(DatasetTest, GenerateDatasetInvariants) {
+  indoor::VenueSpec vs;
+  vs.width = 30;
+  vs.height = 30;
+  vs.rooms_x = 2;
+  vs.rooms_y = 2;
+  vs.hallway_width = 3;
+  vs.num_aps = 30;
+  vs.rp_spacing = 4;
+  vs.seed = 7;
+  SurveySpec ss;
+  ss.rounds = 2;
+  const SurveyDataset ds =
+      GenerateDataset(vs, radio::PropagationParams{}, ss);
+
+  ASSERT_GT(ds.map.size(), 20u);
+  EXPECT_EQ(ds.map.num_aps(), 30u);
+  EXPECT_EQ(ds.truth.positions.size(), ds.map.size());
+  EXPECT_EQ(ds.truth.mask.rows(), ds.map.size());
+  EXPECT_EQ(ds.truth.mask.cols(), ds.map.num_aps());
+  EXPECT_EQ(ds.truth.mean_rssi.rows(), ds.map.size());
+
+  // Mask consistency: observed cells are non-null, missing cells null.
+  for (size_t i = 0; i < ds.map.size(); ++i) {
+    for (size_t j = 0; j < ds.map.num_aps(); ++j) {
+      const bool observed =
+          ds.truth.mask.at(i, j) == rmap::MaskValue::kObserved;
+      EXPECT_EQ(observed, !IsNull(ds.map.record(i).rssi[j]));
+    }
+  }
+}
+
+TEST(DatasetTest, SparsityMatchesPaperRegime) {
+  // The paper's radio maps are 85.6%-93.7% missing in RSSIs and mostly
+  // missing in RPs; the presets must land in the same regime.
+  const SurveyDataset ds = MakeKaideDataset(/*scale=*/0.1);
+  EXPECT_GT(ds.map.MissingRssiRate(), 0.75);
+  EXPECT_LT(ds.map.MissingRssiRate(), 0.99);
+  EXPECT_GT(ds.map.MissingRpRate(), 0.5);
+  EXPECT_LT(ds.map.MissingRpRate(), 0.98);
+}
+
+TEST(DatasetTest, GroundTruthHasBothMissingKinds) {
+  const SurveyDataset ds = MakeKaideDataset(/*scale=*/0.1);
+  const size_t mars = ds.truth.mask.CountOf(rmap::MaskValue::kMar);
+  const size_t mnars = ds.truth.mask.CountOf(rmap::MaskValue::kMnar);
+  EXPECT_GT(mars, 0u);
+  EXPECT_GT(mnars, 0u);
+  // MNARs dominate (unobservability is the main cause of sparsity).
+  EXPECT_GT(mnars, mars);
+  // MAR share of missing should be small, in the paper's estimated range
+  // (7-10%), loosely bounded here.
+  const double share = ds.truth.mask.MarShareOfMissing();
+  EXPECT_GT(share, 0.004);
+  EXPECT_LT(share, 0.3);
+}
+
+TEST(DatasetTest, TruePositionsInsideVenue) {
+  const SurveyDataset ds = MakeKaideDataset(/*scale=*/0.05);
+  for (const auto& p : ds.truth.positions) {
+    EXPECT_GE(p.x, -1.0);
+    EXPECT_LE(p.x, ds.venue.width + 1.0);
+    EXPECT_GE(p.y, -1.0);
+    EXPECT_LE(p.y, ds.venue.height + 1.0);
+  }
+}
+
+TEST(DatasetTest, DeterministicForSameSeed) {
+  const SurveyDataset a = MakeKaideDataset(0.05, /*seed=*/9);
+  const SurveyDataset b = MakeKaideDataset(0.05, /*seed=*/9);
+  ASSERT_EQ(a.map.size(), b.map.size());
+  for (size_t i = 0; i < a.map.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.map.record(i).time, b.map.record(i).time);
+    EXPECT_EQ(a.map.record(i).has_rp, b.map.record(i).has_rp);
+  }
+}
+
+TEST(DatasetTest, PresetsDiffer) {
+  const SurveyDataset k = MakeKaideDataset(0.05);
+  const SurveyDataset l = MakeLonghuDataset(0.05);
+  EXPECT_NE(k.venue.name, l.venue.name);
+  EXPECT_FALSE(k.venue.bluetooth);
+  EXPECT_TRUE(l.venue.bluetooth);
+}
+
+}  // namespace
+}  // namespace rmi::survey
