@@ -2,25 +2,46 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
+#include <utility>
 
+#include "autodiff/workspace.h"
 #include "common/check.h"
+#include "la/kernels.h"
 
 namespace rmi::ad {
 
 using internal::Node;
+using internal::OpKind;
 
 namespace {
 
-std::shared_ptr<Node> MakeNode(la::Matrix value,
-                               std::vector<std::shared_ptr<Node>> parents,
-                               std::function<void(Node&)> backward) {
+/// Active gradient sink of the calling thread (see GradSink).
+thread_local GradSink* tls_grad_sink = nullptr;
+
+/// Where a parent's gradient should accumulate: the sink's shadow buffer
+/// for tracked leaf parameters, the node's own grad otherwise. Returns
+/// nullptr when the parent does not participate in training.
+la::Matrix* GradTarget(Node* p) {
+  if (!p->requires_grad) return nullptr;
+  if (tls_grad_sink != nullptr && p->op == OpKind::kLeaf) {
+    if (la::Matrix* shadow = tls_grad_sink->Find(p)) return shadow;
+  }
+  p->EnsureGrad();
+  return &p->grad;
+}
+
+std::shared_ptr<Node> NewNode(OpKind op, la::Matrix value,
+                              const std::shared_ptr<Node>& p0,
+                              const std::shared_ptr<Node>& p1 = nullptr,
+                              const std::shared_ptr<Node>& p2 = nullptr) {
   auto n = std::make_shared<Node>();
+  n->op = op;
   n->value = std::move(value);
-  n->parents = std::move(parents);
-  n->backward = std::move(backward);
-  for (const auto& p : n->parents) {
-    if (p->requires_grad) {
+  if (p0) n->parents[n->num_parents++] = p0;
+  if (p1) n->parents[n->num_parents++] = p1;
+  if (p2) n->parents[n->num_parents++] = p2;
+  for (size_t i = 0; i < n->num_parents; ++i) {
+    if (n->parents[i]->requires_grad) {
       n->requires_grad = true;
       break;
     }
@@ -28,14 +49,327 @@ std::shared_ptr<Node> MakeNode(la::Matrix value,
   return n;
 }
 
-/// Accumulates `delta` into the parent's grad if it participates in training.
-void Accumulate(const std::shared_ptr<Node>& parent, const la::Matrix& delta) {
-  if (!parent->requires_grad) return;
-  parent->EnsureGrad();
-  parent->grad += delta;
+/// Numerically stable logistic function.
+inline double StableSigmoid(double v) {
+  return v >= 0 ? 1.0 / (1.0 + std::exp(-v))
+                : std::exp(v) / (1.0 + std::exp(v));
 }
 
 }  // namespace
+
+namespace internal {
+
+Node::~Node() {
+  Workspace& ws = Workspace::Get();
+  if (value.size() != 0) ws.Recycle(std::move(value));
+  if (grad.size() != 0) ws.Recycle(std::move(grad));
+  if (aux.size() != 0) ws.Recycle(std::move(aux));
+}
+
+void Node::EnsureGrad() {
+  if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+    Workspace& ws = Workspace::Get();
+    if (grad.size() != 0) ws.Recycle(std::move(grad));
+    grad = ws.AcquireZero(value.rows(), value.cols());
+  }
+}
+
+void Node::Backprop() {
+  Node* p0 = num_parents > 0 ? parents[0].get() : nullptr;
+  Node* p1 = num_parents > 1 ? parents[1].get() : nullptr;
+  Node* p2 = num_parents > 2 ? parents[2].get() : nullptr;
+  const la::Matrix& g = grad;
+  switch (op) {
+    case OpKind::kLeaf:
+      break;
+    case OpKind::kAdd: {
+      if (la::Matrix* t = GradTarget(p0)) la::Axpy(1.0, g, t);
+      if (la::Matrix* t = GradTarget(p1)) la::Axpy(1.0, g, t);
+      break;
+    }
+    case OpKind::kSub: {
+      if (la::Matrix* t = GradTarget(p0)) la::Axpy(1.0, g, t);
+      if (la::Matrix* t = GradTarget(p1)) la::Axpy(-1.0, g, t);
+      break;
+    }
+    case OpKind::kMul: {
+      if (la::Matrix* t = GradTarget(p0)) {
+        la::CwiseBinaryAccumulate(g, p1->value, t,
+                                  [](double gi, double v) { return gi * v; });
+      }
+      if (la::Matrix* t = GradTarget(p1)) {
+        la::CwiseBinaryAccumulate(g, p0->value, t,
+                                  [](double gi, double v) { return gi * v; });
+      }
+      break;
+    }
+    case OpKind::kMatMul: {
+      if (la::Matrix* t = GradTarget(p0)) {
+        la::Gemm(1.0, g, false, p1->value, true, 1.0, t);
+      }
+      if (la::Matrix* t = GradTarget(p1)) {
+        la::Gemm(1.0, p0->value, true, g, false, 1.0, t);
+      }
+      break;
+    }
+    case OpKind::kScale: {
+      if (la::Matrix* t = GradTarget(p0)) la::Axpy(scalar, g, t);
+      break;
+    }
+    case OpKind::kAddRowBroadcast: {
+      if (la::Matrix* t = GradTarget(p0)) la::Axpy(1.0, g, t);
+      if (la::Matrix* t = GradTarget(p1)) la::AccumulateColSums(g, t);
+      break;
+    }
+    case OpKind::kAffine: {
+      // value = x @ w + bias; parents: [x, w, bias].
+      if (la::Matrix* t = GradTarget(p0)) {
+        la::Gemm(1.0, g, false, p1->value, true, 1.0, t);
+      }
+      if (la::Matrix* t = GradTarget(p1)) {
+        la::Gemm(1.0, p0->value, true, g, false, 1.0, t);
+      }
+      if (la::Matrix* t = GradTarget(p2)) la::AccumulateColSums(g, t);
+      break;
+    }
+    case OpKind::kScaleBy: {
+      // parents: [scalar, x].
+      const double sv = p0->value(0, 0);
+      if (la::Matrix* t = GradTarget(p1)) la::Axpy(sv, g, t);
+      if (la::Matrix* t = GradTarget(p0)) {
+        double dot = 0.0;
+        const double* pg = g.data().data();
+        const double* px = p1->value.data().data();
+        for (size_t i = 0; i < g.size(); ++i) dot += pg[i] * px[i];
+        (*t)(0, 0) += dot;
+      }
+      break;
+    }
+    case OpKind::kSigmoid: {
+      if (la::Matrix* t = GradTarget(p0)) {
+        la::CwiseBinaryAccumulate(g, value, t, [](double gi, double v) {
+          return gi * (v * (1.0 - v));
+        });
+      }
+      break;
+    }
+    case OpKind::kTanh: {
+      if (la::Matrix* t = GradTarget(p0)) {
+        la::CwiseBinaryAccumulate(g, value, t, [](double gi, double v) {
+          return gi * (1.0 - v * v);
+        });
+      }
+      break;
+    }
+    case OpKind::kRelu: {
+      if (la::Matrix* t = GradTarget(p0)) {
+        la::CwiseBinaryAccumulate(g, p0->value, t, [](double gi, double x) {
+          return x > 0 ? gi : 0.0;
+        });
+      }
+      break;
+    }
+    case OpKind::kExp: {
+      if (la::Matrix* t = GradTarget(p0)) {
+        la::CwiseBinaryAccumulate(g, value, t, [](double gi, double v) {
+          return gi * v;
+        });
+      }
+      break;
+    }
+    case OpKind::kConcatCols: {
+      const size_t ca = index;
+      const size_t cols = g.cols();
+      if (la::Matrix* t = GradTarget(p0)) {
+        for (size_t i = 0; i < g.rows(); ++i) {
+          const double* grow = g.data().data() + i * cols;
+          double* trow = t->data().data() + i * ca;
+          for (size_t j = 0; j < ca; ++j) trow[j] += grow[j];
+        }
+      }
+      if (la::Matrix* t = GradTarget(p1)) {
+        const size_t cb = cols - ca;
+        for (size_t i = 0; i < g.rows(); ++i) {
+          const double* grow = g.data().data() + i * cols + ca;
+          double* trow = t->data().data() + i * cb;
+          for (size_t j = 0; j < cb; ++j) trow[j] += grow[j];
+        }
+      }
+      break;
+    }
+    case OpKind::kConcatRows: {
+      const size_t ra = index;
+      const size_t cols = g.cols();
+      if (la::Matrix* t = GradTarget(p0)) {
+        const double* src = g.data().data();
+        double* dst = t->data().data();
+        for (size_t i = 0; i < ra * cols; ++i) dst[i] += src[i];
+      }
+      if (la::Matrix* t = GradTarget(p1)) {
+        const double* src = g.data().data() + ra * cols;
+        double* dst = t->data().data();
+        const size_t n = (g.rows() - ra) * cols;
+        for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+      }
+      break;
+    }
+    case OpKind::kRepeatRows: {
+      if (la::Matrix* t = GradTarget(p0)) la::AccumulateColSums(g, t);
+      break;
+    }
+    case OpKind::kTranspose: {
+      if (la::Matrix* t = GradTarget(p0)) {
+        for (size_t i = 0; i < g.rows(); ++i) {
+          for (size_t j = 0; j < g.cols(); ++j) (*t)(j, i) += g(i, j);
+        }
+      }
+      break;
+    }
+    case OpKind::kSliceCols: {
+      const size_t c0 = index;
+      if (la::Matrix* t = GradTarget(p0)) {
+        const size_t w = g.cols();
+        const size_t pcols = t->cols();
+        for (size_t i = 0; i < g.rows(); ++i) {
+          const double* grow = g.data().data() + i * w;
+          double* trow = t->data().data() + i * pcols + c0;
+          for (size_t j = 0; j < w; ++j) trow[j] += grow[j];
+        }
+      }
+      break;
+    }
+    case OpKind::kSoftmaxRows: {
+      if (la::Matrix* t = GradTarget(p0)) {
+        for (size_t i = 0; i < value.rows(); ++i) {
+          double dot = 0.0;
+          for (size_t j = 0; j < value.cols(); ++j) {
+            dot += g(i, j) * value(i, j);
+          }
+          for (size_t j = 0; j < value.cols(); ++j) {
+            (*t)(i, j) += value(i, j) * (g(i, j) - dot);
+          }
+        }
+      }
+      break;
+    }
+    case OpKind::kSum: {
+      if (la::Matrix* t = GradTarget(p0)) {
+        const double gs = g(0, 0);
+        double* pt = t->data().data();
+        for (size_t i = 0; i < t->size(); ++i) pt[i] += gs;
+      }
+      break;
+    }
+    case OpKind::kLstmGates: {
+      // value = [h | c]; parents [gates (N x 4H), c_prev (N x H)]. The
+      // gate activations are cheap to recompute from the pre-activations.
+      const size_t h_dim = value.cols() / 2;
+      la::Matrix* tg = GradTarget(p0);
+      la::Matrix* tc = GradTarget(p1);
+      if (tg == nullptr && tc == nullptr) break;
+      for (size_t r = 0; r < value.rows(); ++r) {
+        const double* grow = g.data().data() + r * 2 * h_dim;     // [Gh|Gc]
+        const double* gate = p0->value.data().data() + r * 4 * h_dim;
+        const double* cprow = p1->value.data().data() + r * h_dim;
+        const double* vrow = value.data().data() + r * 2 * h_dim;  // [h|c]
+        double* tgrow =
+            tg != nullptr ? tg->data().data() + r * 4 * h_dim : nullptr;
+        double* tcrow =
+            tc != nullptr ? tc->data().data() + r * h_dim : nullptr;
+        for (size_t j = 0; j < h_dim; ++j) {
+          const double iv = StableSigmoid(gate[j]);
+          const double fv = StableSigmoid(gate[h_dim + j]);
+          const double gv = std::tanh(gate[2 * h_dim + j]);
+          const double ov = StableSigmoid(gate[3 * h_dim + j]);
+          const double tanh_c = std::tanh(vrow[h_dim + j]);
+          const double gh = grow[j];
+          const double gc = grow[h_dim + j];
+          const double dc = gc + gh * ov * (1.0 - tanh_c * tanh_c);
+          if (tgrow != nullptr) {
+            tgrow[j] += dc * gv * (iv * (1.0 - iv));
+            tgrow[h_dim + j] += dc * cprow[j] * (fv * (1.0 - fv));
+            tgrow[2 * h_dim + j] += dc * iv * (1.0 - gv * gv);
+            tgrow[3 * h_dim + j] += gh * tanh_c * (ov * (1.0 - ov));
+          }
+          if (tcrow != nullptr) tcrow[j] += dc * fv;
+        }
+      }
+      break;
+    }
+    case OpKind::kMaskCombine: {
+      // value = m ⊙ obs + (1-m) ⊙ pred; parent: [pred]; aux = m.
+      if (la::Matrix* t = GradTarget(p0)) {
+        la::CwiseBinaryAccumulate(g, aux, t, [](double gi, double m) {
+          return gi * (1.0 - m);
+        });
+      }
+      break;
+    }
+    case OpKind::kMaskedMse: {
+      // value = mean((mask ⊙ (a-b))^2); parents [a, b]; aux = mask;
+      // scalar = 1/N. Accumulation order mirrors the unfused
+      // Sub/Mul/Mean chain so results match it bit-for-bit.
+      const double inv = scalar;
+      const double gs = g(0, 0) * inv;
+      la::Matrix* ta = GradTarget(p0);
+      la::Matrix* tb = GradTarget(p1);
+      if (ta == nullptr && tb == nullptr) break;
+      const double* pa = p0->value.data().data();
+      const double* pb = p1->value.data().data();
+      const double* pm = aux.data().data();
+      for (size_t i = 0; i < aux.size(); ++i) {
+        const double d = (pa[i] - pb[i]) * pm[i];
+        const double gd = gs * d;
+        const double gm = (gd + gd) * pm[i];
+        if (ta != nullptr) ta->data()[i] += gm;
+        if (tb != nullptr) tb->data()[i] += gm * -1.0;
+      }
+      break;
+    }
+    case OpKind::kBceWithLogits: {
+      if (la::Matrix* t = GradTarget(p0)) {
+        const double gs = g(0, 0) / static_cast<double>(p0->value.size());
+        const double* px = p0->value.data().data();
+        const double* pt = aux.data().data();
+        double* dst = t->data().data();
+        for (size_t i = 0; i < p0->value.size(); ++i) {
+          dst[i] += gs * (StableSigmoid(px[i]) - pt[i]);
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace internal
+
+GradSink::GradSink(const std::vector<Tensor>& params) {
+  nodes_.reserve(params.size());
+  grads_.reserve(params.size());
+  for (const Tensor& p : params) {
+    RMI_CHECK(p.requires_grad());
+    nodes_.push_back(p.node().get());
+    grads_.emplace_back(p.rows(), p.cols());
+  }
+}
+
+la::Matrix* GradSink::Find(const internal::Node* node) {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] == node) return &grads_[i];
+  }
+  return nullptr;
+}
+
+void GradSink::ZeroAll() {
+  for (la::Matrix& g : grads_) la::Fill(&g, 0.0);
+  loss_sum = 0.0;
+}
+
+ScopedGradSink::ScopedGradSink(GradSink* sink) : previous_(tls_grad_sink) {
+  tls_grad_sink = sink;
+}
+
+ScopedGradSink::~ScopedGradSink() { tls_grad_sink = previous_; }
 
 Tensor Tensor::Param(la::Matrix value) {
   auto n = std::make_shared<Node>();
@@ -45,15 +379,16 @@ Tensor Tensor::Param(la::Matrix value) {
   return Tensor(std::move(n));
 }
 
-Tensor Tensor::Constant(la::Matrix value) {
+Tensor Tensor::Constant(const la::Matrix& value) {
   auto n = std::make_shared<Node>();
-  n->value = std::move(value);
+  n->value = Workspace::Get().Acquire(value.rows(), value.cols());
+  std::copy(value.data().begin(), value.data().end(), n->value.data().begin());
   return Tensor(std::move(n));
 }
 
 void Tensor::ZeroGrad() {
   node_->EnsureGrad();
-  node_->grad *= 0.0;
+  la::Fill(&node_->grad, 0.0);
 }
 
 void Tensor::Backward() const {
@@ -61,18 +396,29 @@ void Tensor::Backward() const {
   RMI_CHECK_EQ(node_->value.rows(), 1u);
   RMI_CHECK_EQ(node_->value.cols(), 1u);
   // Iterative post-order topological sort (graphs can be deep for long
-  // sequences; avoid recursion).
-  std::vector<Node*> order;
-  std::unordered_set<Node*> visited;
-  std::vector<std::pair<Node*, size_t>> stack;
-  stack.emplace_back(node_.get(), 0);
-  visited.insert(node_.get());
+  // sequences; avoid recursion). Scratch vectors and the visit counter are
+  // thread-local: graphs are built and differentiated on one thread, and
+  // leaves (shared parameters) are never stamped.
+  thread_local uint64_t mark_counter = 0;
+  thread_local std::vector<Node*> order;
+  thread_local std::vector<std::pair<Node*, size_t>> stack;
+  const uint64_t mark = ++mark_counter;
+  order.clear();
+  stack.clear();
+
+  Node* root = node_.get();
+  root->EnsureGrad();
+  la::Fill(&root->grad, 1.0);
+  if (root->num_parents == 0) return;
+  root->visit_mark = mark;
+  stack.emplace_back(root, 0);
   while (!stack.empty()) {
     auto& [n, idx] = stack.back();
-    if (idx < n->parents.size()) {
+    if (idx < n->num_parents) {
       Node* p = n->parents[idx].get();
       ++idx;
-      if (p->requires_grad && visited.insert(p).second) {
+      if (p->requires_grad && p->num_parents > 0 && p->visit_mark != mark) {
+        p->visit_mark = mark;
         stack.emplace_back(p, 0);
       }
     } else {
@@ -80,178 +426,158 @@ void Tensor::Backward() const {
       stack.pop_back();
     }
   }
-  // Seed and propagate in reverse topological order.
-  for (Node* n : order) n->EnsureGrad();
-  node_->grad = la::Matrix(1, 1, 1.0);
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    Node* n = *it;
-    if (n->backward) n->backward(*n);
-  }
+  // Propagate in reverse topological order. Each node's grad buffer is
+  // acquired (zeroed) on first accumulation by its consumers, which all
+  // run before the node itself.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) (*it)->Backprop();
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   RMI_CHECK(a.value().SameShape(b.value()));
-  auto pa = a.node(), pb = b.node();
-  return Tensor(MakeNode(a.value() + b.value(), {pa, pb}, [pa, pb](Node& n) {
-    Accumulate(pa, n.grad);
-    Accumulate(pb, n.grad);
-  }));
+  la::Matrix v = Workspace::Get().Acquire(a.rows(), a.cols());
+  la::CwiseBinaryInto(a.value(), b.value(), &v,
+                      [](double x, double y) { return x + y; });
+  return Tensor(NewNode(OpKind::kAdd, std::move(v), a.node(), b.node()));
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   RMI_CHECK(a.value().SameShape(b.value()));
-  auto pa = a.node(), pb = b.node();
-  return Tensor(MakeNode(a.value() - b.value(), {pa, pb}, [pa, pb](Node& n) {
-    Accumulate(pa, n.grad);
-    Accumulate(pb, n.grad * -1.0);
-  }));
+  la::Matrix v = Workspace::Get().Acquire(a.rows(), a.cols());
+  la::CwiseBinaryInto(a.value(), b.value(), &v,
+                      [](double x, double y) { return x - y; });
+  return Tensor(NewNode(OpKind::kSub, std::move(v), a.node(), b.node()));
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   RMI_CHECK(a.value().SameShape(b.value()));
-  auto pa = a.node(), pb = b.node();
-  return Tensor(
-      MakeNode(a.value().CwiseProduct(b.value()), {pa, pb}, [pa, pb](Node& n) {
-        Accumulate(pa, n.grad.CwiseProduct(pb->value));
-        Accumulate(pb, n.grad.CwiseProduct(pa->value));
-      }));
+  la::Matrix v = Workspace::Get().Acquire(a.rows(), a.cols());
+  la::CwiseBinaryInto(a.value(), b.value(), &v,
+                      [](double x, double y) { return x * y; });
+  return Tensor(NewNode(OpKind::kMul, std::move(v), a.node(), b.node()));
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
-  auto pa = a.node(), pb = b.node();
-  return Tensor(
-      MakeNode(a.value().MatMul(b.value()), {pa, pb}, [pa, pb](Node& n) {
-        if (pa->requires_grad) {
-          Accumulate(pa, n.grad.MatMul(pb->value.Transpose()));
-        }
-        if (pb->requires_grad) {
-          Accumulate(pb, pa->value.Transpose().MatMul(n.grad));
-        }
-      }));
+  la::Matrix v = Workspace::Get().Acquire(a.rows(), b.cols());
+  la::Gemm(1.0, a.value(), false, b.value(), false, 0.0, &v);
+  return Tensor(NewNode(OpKind::kMatMul, std::move(v), a.node(), b.node()));
 }
 
 Tensor Scale(const Tensor& x, double s) {
-  auto px = x.node();
-  return Tensor(MakeNode(x.value() * s, {px}, [px, s](Node& n) {
-    Accumulate(px, n.grad * s);
-  }));
+  la::Matrix v = Workspace::Get().Acquire(x.rows(), x.cols());
+  la::CwiseUnaryInto(x.value(), &v, [s](double xv) { return xv * s; });
+  auto n = NewNode(OpKind::kScale, std::move(v), x.node());
+  n->scalar = s;
+  return Tensor(std::move(n));
 }
 
 Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
   RMI_CHECK_EQ(bias.rows(), 1u);
   RMI_CHECK_EQ(bias.cols(), x.cols());
-  auto px = x.node(), pb = bias.node();
-  return Tensor(MakeNode(x.value().AddRowBroadcast(bias.value()), {px, pb},
-                         [px, pb](Node& n) {
-                           Accumulate(px, n.grad);
-                           if (pb->requires_grad) {
-                             la::Matrix colsum(1, n.grad.cols());
-                             for (size_t i = 0; i < n.grad.rows(); ++i) {
-                               for (size_t j = 0; j < n.grad.cols(); ++j) {
-                                 colsum(0, j) += n.grad(i, j);
-                               }
-                             }
-                             Accumulate(pb, colsum);
-                           }
-                         }));
+  la::Matrix v = Workspace::Get().Acquire(x.rows(), x.cols());
+  la::AddRowBroadcastInto(x.value(), bias.value(), &v);
+  return Tensor(
+      NewNode(OpKind::kAddRowBroadcast, std::move(v), x.node(), bias.node()));
+}
+
+Tensor Affine(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  RMI_CHECK_EQ(x.cols(), w.rows());
+  RMI_CHECK_EQ(bias.rows(), 1u);
+  RMI_CHECK_EQ(bias.cols(), w.cols());
+  la::Matrix v = Workspace::Get().Acquire(x.rows(), w.cols());
+  la::Gemm(1.0, x.value(), false, w.value(), false, 0.0, &v);
+  la::AddRowBroadcastInPlace(&v, bias.value());
+  return Tensor(NewNode(OpKind::kAffine, std::move(v), x.node(), w.node(),
+                        bias.node()));
 }
 
 Tensor ScaleBy(const Tensor& scalar, const Tensor& x) {
   RMI_CHECK_EQ(scalar.rows(), 1u);
   RMI_CHECK_EQ(scalar.cols(), 1u);
-  auto ps = scalar.node(), px = x.node();
   const double s = scalar.value()(0, 0);
-  return Tensor(MakeNode(x.value() * s, {ps, px}, [ps, px](Node& n) {
-    const double sv = ps->value(0, 0);
-    if (px->requires_grad) Accumulate(px, n.grad * sv);
-    if (ps->requires_grad) {
-      double dot = 0.0;
-      for (size_t i = 0; i < n.grad.size(); ++i) {
-        dot += n.grad.data()[i] * px->value.data()[i];
-      }
-      Accumulate(ps, la::Matrix(1, 1, dot));
-    }
-  }));
+  la::Matrix v = Workspace::Get().Acquire(x.rows(), x.cols());
+  la::CwiseUnaryInto(x.value(), &v, [s](double xv) { return xv * s; });
+  return Tensor(
+      NewNode(OpKind::kScaleBy, std::move(v), scalar.node(), x.node()));
 }
 
 Tensor Sigmoid(const Tensor& x) {
-  auto px = x.node();
-  la::Matrix y = x.value().Map([](double v) {
-    return v >= 0 ? 1.0 / (1.0 + std::exp(-v))
-                  : std::exp(v) / (1.0 + std::exp(v));
-  });
-  auto n = MakeNode(std::move(y), {px}, nullptr);
-  n->backward = [px](Node& nd) {
-    la::Matrix d = nd.value.Map([](double v) { return v * (1.0 - v); });
-    Accumulate(px, nd.grad.CwiseProduct(d));
-  };
-  return Tensor(std::move(n));
+  la::Matrix v = Workspace::Get().Acquire(x.rows(), x.cols());
+  la::CwiseUnaryInto(x.value(), &v,
+                     [](double xv) { return StableSigmoid(xv); });
+  return Tensor(NewNode(OpKind::kSigmoid, std::move(v), x.node()));
 }
 
 Tensor Tanh(const Tensor& x) {
-  auto px = x.node();
-  auto n = MakeNode(x.value().Map([](double v) { return std::tanh(v); }), {px},
-                    nullptr);
-  n->backward = [px](Node& nd) {
-    la::Matrix d = nd.value.Map([](double v) { return 1.0 - v * v; });
-    Accumulate(px, nd.grad.CwiseProduct(d));
-  };
-  return Tensor(std::move(n));
+  la::Matrix v = Workspace::Get().Acquire(x.rows(), x.cols());
+  la::CwiseUnaryInto(x.value(), &v, [](double xv) { return std::tanh(xv); });
+  return Tensor(NewNode(OpKind::kTanh, std::move(v), x.node()));
 }
 
 Tensor Relu(const Tensor& x) {
-  auto px = x.node();
-  auto n = MakeNode(x.value().Map([](double v) { return v > 0 ? v : 0.0; }),
-                    {px}, nullptr);
-  n->backward = [px](Node& nd) {
-    la::Matrix d(nd.value.rows(), nd.value.cols());
-    for (size_t i = 0; i < d.size(); ++i) {
-      d.data()[i] = px->value.data()[i] > 0 ? nd.grad.data()[i] : 0.0;
-    }
-    Accumulate(px, d);
-  };
-  return Tensor(std::move(n));
+  la::Matrix v = Workspace::Get().Acquire(x.rows(), x.cols());
+  la::CwiseUnaryInto(x.value(), &v,
+                     [](double xv) { return xv > 0 ? xv : 0.0; });
+  return Tensor(NewNode(OpKind::kRelu, std::move(v), x.node()));
 }
 
 Tensor Exp(const Tensor& x) {
-  auto px = x.node();
-  auto n = MakeNode(x.value().Map([](double v) { return std::exp(v); }), {px},
-                    nullptr);
-  n->backward = [px](Node& nd) {
-    Accumulate(px, nd.grad.CwiseProduct(nd.value));
-  };
-  return Tensor(std::move(n));
+  la::Matrix v = Workspace::Get().Acquire(x.rows(), x.cols());
+  la::CwiseUnaryInto(x.value(), &v, [](double xv) { return std::exp(xv); });
+  return Tensor(NewNode(OpKind::kExp, std::move(v), x.node()));
 }
 
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   RMI_CHECK_EQ(a.rows(), b.rows());
-  auto pa = a.node(), pb = b.node();
-  const size_t ca = a.cols();
-  return Tensor(MakeNode(a.value().ConcatCols(b.value()), {pa, pb},
-                         [pa, pb, ca](Node& n) {
-                           Accumulate(pa, n.grad.SliceCols(0, ca));
-                           Accumulate(pb, n.grad.SliceCols(ca, n.grad.cols()));
-                         }));
+  la::Matrix v = Workspace::Get().Acquire(a.rows(), a.cols() + b.cols());
+  la::ConcatColsInto(a.value(), b.value(), &v);
+  auto n = NewNode(OpKind::kConcatCols, std::move(v), a.node(), b.node());
+  n->index = a.cols();
+  return Tensor(std::move(n));
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  RMI_CHECK_EQ(a.cols(), b.cols());
+  la::Matrix v = Workspace::Get().Acquire(a.rows() + b.rows(), a.cols());
+  std::copy(a.value().data().begin(), a.value().data().end(),
+            v.data().begin());
+  std::copy(b.value().data().begin(), b.value().data().end(),
+            v.data().begin() + a.value().size());
+  auto n = NewNode(OpKind::kConcatRows, std::move(v), a.node(), b.node());
+  n->index = a.rows();
+  return Tensor(std::move(n));
+}
+
+Tensor RepeatRows(const Tensor& x, size_t n_rows) {
+  RMI_CHECK_EQ(x.rows(), 1u);
+  const size_t cols = x.cols();
+  la::Matrix v = Workspace::Get().Acquire(n_rows, cols);
+  for (size_t i = 0; i < n_rows; ++i) {
+    std::copy(x.value().data().begin(), x.value().data().end(),
+              v.data().begin() + i * cols);
+  }
+  return Tensor(NewNode(OpKind::kRepeatRows, std::move(v), x.node()));
+}
+
+Tensor Transpose(const Tensor& x) {
+  la::Matrix v = Workspace::Get().Acquire(x.cols(), x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) v(j, i) = x.value()(i, j);
+  }
+  return Tensor(NewNode(OpKind::kTranspose, std::move(v), x.node()));
 }
 
 Tensor SliceCols(const Tensor& x, size_t c0, size_t c1) {
-  auto px = x.node();
-  return Tensor(MakeNode(x.value().SliceCols(c0, c1), {px},
-                         [px, c0](Node& n) {
-                           if (!px->requires_grad) return;
-                           la::Matrix d(px->value.rows(), px->value.cols());
-                           for (size_t i = 0; i < n.grad.rows(); ++i) {
-                             for (size_t j = 0; j < n.grad.cols(); ++j) {
-                               d(i, c0 + j) = n.grad(i, j);
-                             }
-                           }
-                           Accumulate(px, d);
-                         }));
+  la::Matrix v = Workspace::Get().Acquire(x.rows(), c1 - c0);
+  la::SliceColsInto(x.value(), c0, c1, &v);
+  auto n = NewNode(OpKind::kSliceCols, std::move(v), x.node());
+  n->index = c0;
+  return Tensor(std::move(n));
 }
 
 Tensor SoftmaxRows(const Tensor& x) {
-  auto px = x.node();
-  la::Matrix y = x.value();
+  la::Matrix y = Workspace::Get().Acquire(x.rows(), x.cols());
+  std::copy(x.value().data().begin(), x.value().data().end(),
+            y.data().begin());
   for (size_t i = 0; i < y.rows(); ++i) {
     double mx = -1e300;
     for (size_t j = 0; j < y.cols(); ++j) mx = std::max(mx, y(i, j));
@@ -262,38 +588,55 @@ Tensor SoftmaxRows(const Tensor& x) {
     }
     for (size_t j = 0; j < y.cols(); ++j) y(i, j) /= sum;
   }
-  auto n = MakeNode(std::move(y), {px}, nullptr);
-  n->backward = [px](Node& nd) {
-    if (!px->requires_grad) return;
-    la::Matrix d(nd.value.rows(), nd.value.cols());
-    for (size_t i = 0; i < nd.value.rows(); ++i) {
-      double dot = 0.0;
-      for (size_t j = 0; j < nd.value.cols(); ++j) {
-        dot += nd.grad(i, j) * nd.value(i, j);
-      }
-      for (size_t j = 0; j < nd.value.cols(); ++j) {
-        d(i, j) = nd.value(i, j) * (nd.grad(i, j) - dot);
-      }
+  return Tensor(NewNode(OpKind::kSoftmaxRows, std::move(y), x.node()));
+}
+
+Tensor LstmGates(const Tensor& gates, const Tensor& c_prev) {
+  RMI_CHECK_EQ(gates.cols() % 4, 0u);
+  const size_t h_dim = gates.cols() / 4;
+  RMI_CHECK_EQ(c_prev.cols(), h_dim);
+  RMI_CHECK_EQ(c_prev.rows(), gates.rows());
+  la::Matrix v = Workspace::Get().Acquire(gates.rows(), 2 * h_dim);
+  for (size_t r = 0; r < gates.rows(); ++r) {
+    const double* gate = gates.value().data().data() + r * 4 * h_dim;
+    const double* cprow = c_prev.value().data().data() + r * h_dim;
+    double* vrow = v.data().data() + r * 2 * h_dim;
+    for (size_t j = 0; j < h_dim; ++j) {
+      const double iv = StableSigmoid(gate[j]);
+      const double fv = StableSigmoid(gate[h_dim + j]);
+      const double gv = std::tanh(gate[2 * h_dim + j]);
+      const double ov = StableSigmoid(gate[3 * h_dim + j]);
+      const double c = fv * cprow[j] + iv * gv;
+      vrow[h_dim + j] = c;
+      vrow[j] = ov * std::tanh(c);
     }
-    Accumulate(px, d);
-  };
-  return Tensor(std::move(n));
+  }
+  return Tensor(
+      NewNode(OpKind::kLstmGates, std::move(v), gates.node(), c_prev.node()));
 }
 
 Tensor Sum(const Tensor& x) {
-  auto px = x.node();
-  return Tensor(MakeNode(la::Matrix(1, 1, x.value().Sum()), {px},
-                         [px](Node& n) {
-                           const double g = n.grad(0, 0);
-                           Accumulate(px,
-                                      la::Matrix(px->value.rows(),
-                                                 px->value.cols(), g));
-                         }));
+  la::Matrix v = Workspace::Get().Acquire(1, 1);
+  v(0, 0) = x.value().Sum();
+  return Tensor(NewNode(OpKind::kSum, std::move(v), x.node()));
 }
 
 Tensor Mean(const Tensor& x) {
   const double inv = 1.0 / static_cast<double>(x.value().size());
   return Scale(Sum(x), inv);
+}
+
+Tensor MaskCombine(const la::Matrix& m, const la::Matrix& obs,
+                   const Tensor& pred) {
+  RMI_CHECK(m.SameShape(obs));
+  RMI_CHECK(m.SameShape(pred.value()));
+  Workspace& ws = Workspace::Get();
+  la::Matrix v = ws.Acquire(m.rows(), m.cols());
+  la::MaskCombineInto(m, obs, pred.value(), &v);
+  auto n = NewNode(OpKind::kMaskCombine, std::move(v), pred.node());
+  n->aux = ws.Acquire(m.rows(), m.cols());
+  std::copy(m.data().begin(), m.data().end(), n->aux.data().begin());
+  return Tensor(std::move(n));
 }
 
 Tensor Mse(const Tensor& a, const Tensor& b) {
@@ -303,14 +646,29 @@ Tensor Mse(const Tensor& a, const Tensor& b) {
 
 Tensor MaskedMse(const Tensor& a, const Tensor& b, const la::Matrix& mask) {
   RMI_CHECK(a.value().SameShape(mask));
-  Tensor m = Tensor::Constant(mask);
-  Tensor d = Mul(Sub(a, b), m);
-  return Mean(Mul(d, d));
+  RMI_CHECK(a.value().SameShape(b.value()));
+  Workspace& ws = Workspace::Get();
+  const double inv = 1.0 / static_cast<double>(mask.size());
+  const double* pa = a.value().data().data();
+  const double* pb = b.value().data().data();
+  const double* pm = mask.data().data();
+  double sum = 0.0;
+  for (size_t i = 0; i < mask.size(); ++i) {
+    const double d = (pa[i] - pb[i]) * pm[i];
+    sum += d * d;
+  }
+  la::Matrix v = ws.Acquire(1, 1);
+  v(0, 0) = sum * inv;
+  auto n = NewNode(OpKind::kMaskedMse, std::move(v), a.node(), b.node());
+  n->scalar = inv;
+  n->aux = ws.Acquire(mask.rows(), mask.cols());
+  std::copy(mask.data().begin(), mask.data().end(), n->aux.data().begin());
+  return Tensor(std::move(n));
 }
 
 Tensor BceWithLogits(const Tensor& logits, const la::Matrix& targets) {
   RMI_CHECK(logits.value().SameShape(targets));
-  auto px = logits.node();
+  Workspace& ws = Workspace::Get();
   const la::Matrix& x = logits.value();
   double loss = 0.0;
   for (size_t i = 0; i < x.size(); ++i) {
@@ -320,20 +678,12 @@ Tensor BceWithLogits(const Tensor& logits, const la::Matrix& targets) {
     loss += std::max(v, 0.0) - t * v + std::log1p(std::exp(-std::fabs(v)));
   }
   loss /= static_cast<double>(x.size());
-  auto n = MakeNode(la::Matrix(1, 1, loss), {px}, nullptr);
-  la::Matrix t_copy = targets;
-  n->backward = [px, t_copy](Node& nd) {
-    if (!px->requires_grad) return;
-    const double g = nd.grad(0, 0) / static_cast<double>(px->value.size());
-    la::Matrix d(px->value.rows(), px->value.cols());
-    for (size_t i = 0; i < d.size(); ++i) {
-      const double v = px->value.data()[i];
-      const double sig = v >= 0 ? 1.0 / (1.0 + std::exp(-v))
-                                : std::exp(v) / (1.0 + std::exp(v));
-      d.data()[i] = g * (sig - t_copy.data()[i]);
-    }
-    Accumulate(px, d);
-  };
+  la::Matrix v = ws.Acquire(1, 1);
+  v(0, 0) = loss;
+  auto n = NewNode(OpKind::kBceWithLogits, std::move(v), logits.node());
+  n->aux = ws.Acquire(targets.rows(), targets.cols());
+  std::copy(targets.data().begin(), targets.data().end(),
+            n->aux.data().begin());
   return Tensor(std::move(n));
 }
 

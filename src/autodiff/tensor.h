@@ -1,18 +1,26 @@
 // Reverse-mode automatic differentiation over dense matrices.
 //
 // Define-by-run tape: every op builds a graph node holding its value, the
-// parent handles, and a backward closure. Calling Backward() on a scalar
-// node topologically sorts the reachable graph and accumulates gradients
-// into every node that requires them. Parameters (leaves created with
-// Tensor::Param) persist across steps; op nodes are released when the last
-// handle drops.
+// parent handles, and an op tag. Calling Backward() on a scalar node
+// topologically sorts the reachable graph and accumulates gradients into
+// every node that requires them, dispatching each op's adjoint through a
+// switch (no std::function anywhere on the tape). Parameters (leaves
+// created with Tensor::Param) persist across steps; op nodes are released
+// when the last handle drops, returning their matrix buffers to the
+// calling thread's Workspace — steady-state training epochs perform no
+// per-op matrix allocations.
+//
+// Gradient accumulation is fused: matmul adjoints run through
+// la::Gemm(beta=1) straight into the parent's grad buffer, elementwise
+// adjoints through la::CwiseBinaryAccumulate.
 //
 // Sized for the paper's models: per-step vectors are 1 x K rows, sequences
 // of length T=5, latent sizes of tens — graph sizes of a few hundred nodes.
 #ifndef RMI_AUTODIFF_TENSOR_H_
 #define RMI_AUTODIFF_TENSOR_H_
 
-#include <functional>
+#include <array>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -22,19 +30,56 @@ namespace rmi::ad {
 
 namespace internal {
 
+/// Every differentiable op the tape supports; the backward pass switches
+/// on this tag.
+enum class OpKind : uint8_t {
+  kLeaf,             // Param / Constant
+  kAdd,              // a + b
+  kSub,              // a - b
+  kMul,              // a ⊙ b
+  kMatMul,           // a @ b
+  kScale,            // a * scalar
+  kAddRowBroadcast,  // a + row
+  kAffine,           // x @ w + row  (fused Linear)
+  kScaleBy,          // (1x1 tensor) * x
+  kSigmoid,
+  kTanh,
+  kRelu,
+  kExp,
+  kConcatCols,   // [a | b], index = a.cols()
+  kConcatRows,   // [a ; b], index = a.rows()
+  kSliceCols,    // x[:, c0:c1], index = c0
+  kRepeatRows,   // 1 x C row tiled to N x C
+  kTranspose,    // x^T
+  kSoftmaxRows,  // row-wise softmax
+  kSum,          // scalar sum of entries
+  kLstmGates,      // fused LSTM pointwise block: (gates, c_prev) -> [h | c]
+  kMaskCombine,    // m ⊙ obs + (1-m) ⊙ pred, aux = m (obs, m constant)
+  kMaskedMse,      // mean((mask ⊙ (a-b))^2), aux = mask
+  kBceWithLogits,  // stable BCE vs constant targets, aux = targets
+};
+
 struct Node {
   la::Matrix value;
-  la::Matrix grad;  ///< allocated lazily; same shape as value
+  la::Matrix grad;  ///< workspace-backed; acquired lazily, zero-initialized
+  la::Matrix aux;   ///< per-op constant payload (mask / targets)
+  OpKind op = OpKind::kLeaf;
   bool requires_grad = false;
-  std::vector<std::shared_ptr<Node>> parents;
-  /// Propagates this node's grad into its parents' grads.
-  std::function<void(Node&)> backward;
+  uint64_t visit_mark = 0;  ///< topo-sort stamp (thread-confined graphs)
+  double scalar = 0.0;      ///< kScale factor / cached multiplier
+  size_t index = 0;         ///< kConcatCols split / kSliceCols offset
+  std::array<std::shared_ptr<Node>, 3> parents;  ///< up to 3 (kAffine)
+  size_t num_parents = 0;
 
-  void EnsureGrad() {
-    if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
-      grad = la::Matrix(value.rows(), value.cols());
-    }
-  }
+  Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  /// Returns value/grad/aux buffers to the calling thread's Workspace.
+  ~Node();
+
+  void EnsureGrad();
+  /// Propagates this node's grad into its parents' grads (op switch).
+  void Backprop();
 };
 
 }  // namespace internal
@@ -45,10 +90,12 @@ class Tensor {
   Tensor() = default;
 
   /// Trainable leaf (gradient accumulated by Backward, consumed by Adam).
+  /// Not workspace-pooled: parameters persist across steps.
   static Tensor Param(la::Matrix value);
 
-  /// Non-trainable leaf (inputs, masks).
-  static Tensor Constant(la::Matrix value);
+  /// Non-trainable leaf (inputs, masks); the value is copied into pooled
+  /// storage so per-step constants recycle like any other node.
+  static Tensor Constant(const la::Matrix& value);
 
   bool defined() const { return node_ != nullptr; }
   const la::Matrix& value() const { return node_->value; }
@@ -74,6 +121,42 @@ class Tensor {
   std::shared_ptr<internal::Node> node_;
 };
 
+/// Redirects leaf-parameter gradient accumulation into per-thread shadow
+/// buffers so several workers can run Backward() on graphs sharing the
+/// same parameters without racing. Install with ScopedGradSink; merge the
+/// shards into the real parameter grads between batches (fixed order keeps
+/// training deterministic for a given thread count).
+class GradSink {
+ public:
+  explicit GradSink(const std::vector<Tensor>& params);
+
+  /// Shadow grad for `node`, or nullptr if it is not a tracked parameter.
+  la::Matrix* Find(const internal::Node* node);
+
+  /// Shadow grads, parallel to the constructor's params order.
+  std::vector<la::Matrix>& grads() { return grads_; }
+  void ZeroAll();
+
+  /// Scratch accumulator for the caller (per-thread loss sums).
+  double loss_sum = 0.0;
+
+ private:
+  std::vector<const internal::Node*> nodes_;
+  std::vector<la::Matrix> grads_;
+};
+
+/// RAII installer of the calling thread's active GradSink.
+class ScopedGradSink {
+ public:
+  explicit ScopedGradSink(GradSink* sink);
+  ~ScopedGradSink();
+  ScopedGradSink(const ScopedGradSink&) = delete;
+  ScopedGradSink& operator=(const ScopedGradSink&) = delete;
+
+ private:
+  GradSink* previous_;
+};
+
 /// --- Ops (shape-checked; broadcast rules documented per op). -------------
 
 /// Elementwise a + b (same shape).
@@ -88,6 +171,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b);
 Tensor Scale(const Tensor& x, double s);
 /// Adds a 1 x C bias row to every row of x (N x C).
 Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias);
+/// Fused affine map x @ w + bias (one node instead of MatMul +
+/// AddRowBroadcast; the adjoint accumulates via Gemm(beta=1)).
+Tensor Affine(const Tensor& x, const Tensor& w, const Tensor& bias);
 /// scalar (1x1 tensor) * x, broadcast.
 Tensor ScaleBy(const Tensor& scalar, const Tensor& x);
 
@@ -99,20 +185,40 @@ Tensor Exp(const Tensor& x);
 
 /// Horizontal concatenation [a | b] of two single-row (or same-row) tensors.
 Tensor ConcatCols(const Tensor& a, const Tensor& b);
+/// Vertical concatenation [a ; b] (equal column counts) — used to stack
+/// per-step latents into one batched operand.
+Tensor ConcatRows(const Tensor& a, const Tensor& b);
 /// Columns [c0, c1) of x.
 Tensor SliceCols(const Tensor& x, size_t c0, size_t c1);
+/// The 1 x C row x tiled to n x C (broadcast over a batch dimension).
+Tensor RepeatRows(const Tensor& x, size_t n);
+/// Matrix transpose.
+Tensor Transpose(const Tensor& x);
 
 /// Row-wise softmax (each row normalized independently).
 Tensor SoftmaxRows(const Tensor& x);
+
+/// Fused LSTM pointwise block. `gates` is the N x 4H pre-activation
+/// [i, f, g, o] block, c_prev the N x H previous cell state; returns
+/// [h | c] (N x 2H) where c = sigmoid(f)*c_prev + sigmoid(i)*tanh(g) and
+/// h = sigmoid(o)*tanh(c). One node instead of the 11-node slice/
+/// activation/combine chain; activations are recomputed pointwise in the
+/// adjoint rather than stored.
+Tensor LstmGates(const Tensor& gates, const Tensor& c_prev);
 
 /// Scalar sum of all entries.
 Tensor Sum(const Tensor& x);
 /// Mean of all entries (scalar).
 Tensor Mean(const Tensor& x);
+/// Fused missing-data combine (paper Eqs. 3/7) with constant mask m and
+/// observation vector obs:  m ⊙ obs + (1-m) ⊙ pred. One node instead of
+/// two Mul + one Add + two Constant nodes.
+Tensor MaskCombine(const la::Matrix& m, const la::Matrix& obs,
+                   const Tensor& pred);
 /// Mean squared error between same-shape tensors (scalar).
 Tensor Mse(const Tensor& a, const Tensor& b);
 /// Masked MSE: mean over all entries of (mask*(a-b))^2 — the paper's
-/// L(a, a', mask) with a constant 0/1 mask.
+/// L(a, a', mask) with a constant 0/1 mask. Fused single node.
 Tensor MaskedMse(const Tensor& a, const Tensor& b, const la::Matrix& mask);
 /// Numerically stable binary cross-entropy with logits against constant
 /// targets in [0,1]; returns the scalar mean.

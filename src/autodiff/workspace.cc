@@ -1,0 +1,38 @@
+#include "autodiff/workspace.h"
+
+#include <algorithm>
+
+namespace rmi::ad {
+
+Workspace& Workspace::Get() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+la::Matrix Workspace::Acquire(size_t rows, size_t cols) {
+  ++stats_.acquires;
+  const size_t n = rows * cols;
+  auto it = pool_.find(n);
+  if (it != pool_.end() && !it->second.empty()) {
+    ++stats_.pool_hits;
+    std::vector<double> buf = std::move(it->second.back());
+    it->second.pop_back();
+    return la::Matrix::Adopt(rows, cols, std::move(buf));
+  }
+  ++stats_.fresh_allocs;
+  return la::Matrix(rows, cols);
+}
+
+la::Matrix Workspace::AcquireZero(size_t rows, size_t cols) {
+  la::Matrix m = Acquire(rows, cols);
+  std::fill(m.data().begin(), m.data().end(), 0.0);
+  return m;
+}
+
+void Workspace::Recycle(la::Matrix&& m) {
+  const size_t n = m.size();
+  if (n == 0) return;
+  pool_[n].push_back(m.TakeBuffer());
+}
+
+}  // namespace rmi::ad

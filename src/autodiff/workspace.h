@@ -1,0 +1,66 @@
+// Per-thread buffer arena for the autodiff tape.
+//
+// Every graph node's value/grad/aux matrix borrows its heap storage from
+// the calling thread's Workspace and returns it when the node is released.
+// Buffers are pooled by exact element count — the tape allocates the same
+// fixed set of shapes every step, so after the first training step the pool
+// holds one buffer per live shape slot and steady-state epochs perform no
+// heap allocation for matrices (fresh_allocs in stats() stops growing).
+//
+// Thread model: each thread gets its own pool (thread_local singleton);
+// a graph must be built, differentiated, and released on the same thread —
+// which is how the trainer's per-sequence fan-out uses it.
+#ifndef RMI_AUTODIFF_WORKSPACE_H_
+#define RMI_AUTODIFF_WORKSPACE_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace rmi::ad {
+
+class Workspace {
+ public:
+  struct Stats {
+    size_t acquires = 0;      ///< total Acquire calls
+    size_t pool_hits = 0;     ///< served from the pool (no heap touch)
+    size_t fresh_allocs = 0;  ///< served by a new heap allocation
+    size_t pooled_buffers = 0;  ///< buffers currently parked in the pool
+  };
+
+  /// The calling thread's workspace.
+  static Workspace& Get();
+
+  /// A rows x cols matrix backed by pooled storage. Contents are
+  /// unspecified (stale pool data) — callers must overwrite every element.
+  la::Matrix Acquire(size_t rows, size_t cols);
+
+  /// Like Acquire, but zero-filled (for gradient accumulators).
+  la::Matrix AcquireZero(size_t rows, size_t cols);
+
+  /// Returns a matrix's storage to the pool. Empty matrices are ignored.
+  void Recycle(la::Matrix&& m);
+
+  Stats stats() const {
+    Stats s = stats_;
+    s.pooled_buffers = 0;
+    for (const auto& [size, bucket] : pool_) {
+      s.pooled_buffers += bucket.size();
+    }
+    return s;
+  }
+  void ResetStats() { stats_ = Stats(); }
+
+  /// Drops every pooled buffer (frees the memory).
+  void Clear() { pool_.clear(); }
+
+ private:
+  std::unordered_map<size_t, std::vector<std::vector<double>>> pool_;
+  Stats stats_;
+};
+
+}  // namespace rmi::ad
+
+#endif  // RMI_AUTODIFF_WORKSPACE_H_

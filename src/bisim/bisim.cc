@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/missing.h"
+#include "common/thread_pool.h"
+#include "la/kernels.h"
 
 namespace rmi::bisim {
 
@@ -157,20 +159,16 @@ BiSimModel::DirectionOutput BiSimModel::RunDirection(const Sequence& seq,
     prev_delta = delta;
     prev_m = sf.m;
 
-    Tensor f = Tensor::Constant(sf.f);
     Tensor m = Tensor::Constant(sf.m);
-    Tensor one_minus_m =
-        Tensor::Constant(sf.m.Map([](double v) { return 1.0 - v; }));
 
-    // Eq. 2: f' from the previous latent.
-    Tensor f_prime = ad::AddRowBroadcast(ad::MatMul(enc_state.h, w_f_), b_f_);
-    // Eq. 3: combination.
-    Tensor f_comb = ad::Add(ad::Mul(m, f), ad::Mul(one_minus_m, f_prime));
+    // Eq. 2: f' from the previous latent (fused affine node).
+    Tensor f_prime = ad::Affine(enc_state.h, w_f_, b_f_);
+    // Eq. 3: combination (fused mask-combine kernel).
+    Tensor f_comb = ad::MaskCombine(sf.m, sf.f, f_prime);
     // Eq. 4: temporal decay (vector-valued, applied to h elementwise).
     if (enc_lag) {
       Tensor gamma = ad::Exp(ad::Scale(
-          ad::Relu(ad::AddRowBroadcast(
-              ad::MatMul(Tensor::Constant(delta), w_gamma_), b_gamma_)),
+          ad::Relu(ad::Affine(Tensor::Constant(delta), w_gamma_, b_gamma_)),
           -1.0));
       enc_state.h = ad::Mul(enc_state.h, gamma);
     }
@@ -181,16 +179,18 @@ BiSimModel::DirectionOutput BiSimModel::RunDirection(const Sequence& seq,
     out.f_comb[order[t]] = f_comb;
   }
 
-  // ---- Attention precomputation (Eqs. 9): h''_i per encoder step.
-  std::vector<Tensor> h_att(t_len);
+  // ---- Attention precomputation (Eqs. 9): h''_i per encoder step,
+  // stacked into one T x D operand so every decoder step runs the
+  // alignment MLP as a single batched pass.
+  Tensor h_att_stack;
   if (config_.attention != BiSimConfig::Attention::kNone) {
     for (size_t t = 0; t < t_len; ++t) {
-      Tensor h_proj =
-          ad::AddRowBroadcast(ad::MatMul(latents[t], w_a_), b_a_);
+      Tensor h_proj = ad::Affine(latents[t], w_a_, b_a_);
       if (config_.attention == BiSimConfig::Attention::kSparsityFriendly) {
         h_proj = ad::Mul(h_proj, Tensor::Constant(seq[order[t]].m_att));
       }
-      h_att[t] = h_proj;
+      h_att_stack =
+          (t == 0) ? h_proj : ad::ConcatRows(h_att_stack, h_proj);
     }
   }
 
@@ -199,32 +199,29 @@ BiSimModel::DirectionOutput BiSimModel::RunDirection(const Sequence& seq,
   nn::LstmCell::State dec_state = enc_state;
   la::Matrix prev_delta_l(1, 2);
   la::Matrix prev_k(1, 2, 1.0);
+  Tensor zero_context;  // shared constant for the no-attention ablation
+  if (config_.attention == BiSimConfig::Attention::kNone) {
+    zero_context = Tensor::Constant(la::Matrix(1, d));
+  }
   for (size_t t = 0; t < t_len; ++t) {
     const StepFeatures& sf = seq[order[t]];
-    Tensor l = Tensor::Constant(sf.l);
-    Tensor k = Tensor::Constant(sf.k);
-    Tensor one_minus_k =
-        Tensor::Constant(sf.k.Map([](double v) { return 1.0 - v; }));
 
-    // Eq. 6 / Eq. 7.
-    Tensor l_prime = ad::AddRowBroadcast(ad::MatMul(dec_state.h, w_l_), b_l_);
-    Tensor l_comb = ad::Add(ad::Mul(k, l), ad::Mul(one_minus_k, l_prime));
+    // Eq. 6 / Eq. 7 (fused affine + mask-combine).
+    Tensor l_prime = ad::Affine(dec_state.h, w_l_, b_l_);
+    Tensor l_comb = ad::MaskCombine(sf.k, sf.l, l_prime);
 
-    // Context vector (Eqs. 10-12).
+    // Context vector (Eqs. 10-12), batched: the alignment MLP runs once
+    // over all T [s_j | h''_i] rows, and the weighted sum of Eq. 12 is a
+    // single (1 x T) @ (T x D) product.
     Tensor context;
     if (config_.attention == BiSimConfig::Attention::kNone) {
-      context = Tensor::Constant(la::Matrix(1, d));
+      context = zero_context;
     } else {
-      Tensor energies;  // 1 x T
-      for (size_t i = 0; i < t_len; ++i) {
-        Tensor e = align_.Forward(ad::ConcatCols(dec_state.h, h_att[i]));
-        energies = (i == 0) ? e : ad::ConcatCols(energies, e);
-      }
+      Tensor align_in =
+          ad::ConcatCols(ad::RepeatRows(dec_state.h, t_len), h_att_stack);
+      Tensor energies = ad::Transpose(align_.Forward(align_in));  // 1 x T
       Tensor alpha = ad::SoftmaxRows(energies);
-      for (size_t i = 0; i < t_len; ++i) {
-        Tensor contrib = ad::ScaleBy(ad::SliceCols(alpha, i, i + 1), h_att[i]);
-        context = (i == 0) ? contrib : ad::Add(context, contrib);
-      }
+      context = ad::MatMul(alpha, h_att_stack);
     }
 
     // Optional decoder time lag (ablation).
@@ -241,8 +238,8 @@ BiSimModel::DirectionOutput BiSimModel::RunDirection(const Sequence& seq,
       prev_delta_l = delta_l;
       prev_k = sf.k;
       Tensor gamma_s = ad::Exp(ad::Scale(
-          ad::Relu(ad::AddRowBroadcast(
-              ad::MatMul(Tensor::Constant(delta_l), w_gamma_s_), b_gamma_s_)),
+          ad::Relu(
+              ad::Affine(Tensor::Constant(delta_l), w_gamma_s_, b_gamma_s_)),
           -1.0));
       dec_state.h = ad::Mul(dec_state.h, gamma_s);
     }
@@ -297,31 +294,93 @@ BiSimModel::SequenceOutput BiSimModel::Forward(const Sequence& seq,
   return out;
 }
 
+namespace {
+
+/// Resolved worker count for a config, capped by `cap` — the number of
+/// independent work items per fan-out (accumulation batch size for
+/// training, sequence count for inference).
+size_t ResolveThreads(const BiSimConfig& config, size_t cap) {
+  size_t nt = config.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                      : config.num_threads;
+  nt = std::min(nt, std::max<size_t>(1, cap));
+  return std::max<size_t>(1, nt);
+}
+
+}  // namespace
+
 double TrainBiSim(const BiSimModel& model, const std::vector<Sequence>& seqs,
                   const BiSimConfig& config, Rng& rng) {
   ad::Adam adam(model.Params(), config.lr);
   std::vector<size_t> idx(seqs.size());
   for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
 
+  size_t nt = ResolveThreads(config, config.batch_size);
+  std::unique_ptr<ThreadPool> pool;
+  if (nt > 1) {
+    pool = std::make_unique<ThreadPool>(nt);
+    // A nested fan-out (pool created inside another pool's worker) is
+    // forced inline; fall back to the serial reference path then.
+    nt = pool->num_threads();
+  }
   double last_loss = 0.0;
-  size_t in_batch = 0;
-  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    rng.Shuffle(&idx);
-    double epoch_loss = 0.0;
-    for (size_t i : idx) {
-      auto out = model.Forward(seqs[i], /*compute_loss=*/true);
-      epoch_loss += out.loss.value()(0, 0);
-      out.loss.Backward();
-      if (++in_batch >= config.batch_size) {
+
+  if (nt <= 1) {
+    // Serial reference path (bit-identical run-to-run).
+    size_t in_batch = 0;
+    for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+      rng.Shuffle(&idx);
+      double epoch_loss = 0.0;
+      for (size_t i : idx) {
+        auto out = model.Forward(seqs[i], /*compute_loss=*/true);
+        epoch_loss += out.loss.value()(0, 0);
+        out.loss.Backward();
+        if (++in_batch >= config.batch_size) {
+          ad::ClipGradNorm(adam.params(), config.grad_clip);
+          adam.Step();
+          in_batch = 0;
+        }
+      }
+      if (in_batch > 0) {
         ad::ClipGradNorm(adam.params(), config.grad_clip);
         adam.Step();
         in_batch = 0;
       }
+      last_loss = seqs.empty() ? 0.0
+                               : epoch_loss / static_cast<double>(seqs.size());
     }
-    if (in_batch > 0) {
-      ad::ClipGradNorm(adam.params(), config.grad_clip);
+    return last_loss;
+  }
+
+  // Parallel path: the sequences of each accumulation batch fan out over
+  // the pool; every worker accumulates parameter gradients into its own
+  // shard (ScopedGradSink), and shards merge in worker order before the
+  // Adam step — deterministic for a fixed (seed, num_threads) pair.
+  std::vector<ad::GradSink> sinks;
+  sinks.reserve(nt);
+  for (size_t w = 0; w < nt; ++w) sinks.emplace_back(adam.params());
+  const std::vector<ad::Tensor>& params = adam.params();
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&idx);
+    double epoch_loss = 0.0;
+    for (size_t start = 0; start < idx.size(); start += config.batch_size) {
+      const size_t count = std::min(config.batch_size, idx.size() - start);
+      pool->ParallelFor(count, [&](size_t w, size_t i) {
+        ad::ScopedGradSink scoped(&sinks[w]);
+        auto out = model.Forward(seqs[idx[start + i]], /*compute_loss=*/true);
+        sinks[w].loss_sum += out.loss.value()(0, 0);
+        out.loss.Backward();
+      });
+      for (size_t w = 0; w < nt; ++w) {
+        std::vector<la::Matrix>& shard = sinks[w].grads();
+        for (size_t p = 0; p < params.size(); ++p) {
+          la::Axpy(1.0, shard[p], &params[p].node()->grad);
+        }
+        epoch_loss += sinks[w].loss_sum;
+        sinks[w].ZeroAll();
+      }
+      ad::ClipGradNorm(params, config.grad_clip);
       adam.Step();
-      in_batch = 0;
     }
     last_loss = seqs.empty() ? 0.0
                              : epoch_loss / static_cast<double>(seqs.size());
@@ -336,11 +395,16 @@ rmap::RadioMap BiSimImputer::Impute(const rmap::RadioMap& map,
   Rng model_rng(cfg.seed ^ rng.engine()());
   BiSimModel model(map.num_aps(), cfg, model_rng);
   std::vector<Sequence> sequences = BuildSequences(map, amended_mask, cfg);
-  last_loss_ = TrainBiSim(model, sequences, cfg, model_rng);
+  last_loss_.store(TrainBiSim(model, sequences, cfg, model_rng),
+                   std::memory_order_relaxed);
 
-  // Inference: write combined imputations into a copy of the map.
+  // Inference: write combined imputations into a copy of the map. The
+  // sequences cover disjoint records, so they fan out over the pool (each
+  // worker writes only its own sequences' records).
   rmap::RadioMap result = map;
-  for (const Sequence& seq : sequences) {
+  ThreadPool pool(ResolveThreads(cfg, sequences.size()));
+  pool.ParallelFor(sequences.size(), [&](size_t /*worker*/, size_t s) {
+    const Sequence& seq = sequences[s];
     auto out = model.Forward(seq, /*compute_loss=*/false);
     for (size_t t = 0; t < seq.size(); ++t) {
       rmap::Record& r = result.record(seq[t].record_index);
@@ -359,7 +423,7 @@ rmap::RadioMap BiSimImputer::Impute(const rmap::RadioMap& map,
         r.has_rp = true;
       }
     }
-  }
+  });
   return result;
 }
 

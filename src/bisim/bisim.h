@@ -16,6 +16,7 @@
 #ifndef RMI_BISIM_BISIM_H_
 #define RMI_BISIM_BISIM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -45,6 +46,13 @@ struct BiSimConfig {
   double lr = 4e-3;
   double grad_clip = 5.0;
   uint64_t seed = 11;
+  /// Training/inference worker threads: 0 = all hardware threads, 1 =
+  /// serial (bit-identical to the reference single-thread path). Each
+  /// worker runs whole sequences forward/backward; per-thread gradient
+  /// shards are merged in fixed order before every Adam step, so results
+  /// are reproducible for a given thread count (and agree across thread
+  /// counts to floating-point reassociation tolerance).
+  size_t num_threads = 0;
 
   /// Attention variants (Fig. 17 ablation).
   enum class Attention {
@@ -161,12 +169,17 @@ class BiSimImputer : public imputers::Imputer {
 
   std::string name() const override { return "BiSIM"; }
 
-  /// Mean training loss of the final epoch of the last Impute call.
-  double last_training_loss() const { return last_loss_; }
+  /// Mean training loss of the final epoch of the last Impute call. When
+  /// Impute runs concurrently on several threads (e.g. fanned-out bench
+  /// repeats sharing one imputer), this reports whichever call finished
+  /// last — atomic so concurrent Impute calls stay well-defined.
+  double last_training_loss() const {
+    return last_loss_.load(std::memory_order_relaxed);
+  }
 
  private:
   BiSimConfig config_;
-  mutable double last_loss_ = 0.0;
+  mutable std::atomic<double> last_loss_{0.0};
 };
 
 /// Online fingerprint imputation — the paper's Section VII future-work

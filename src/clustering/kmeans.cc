@@ -10,18 +10,32 @@ namespace rmi::cluster {
 namespace {
 
 double RowDistance(const la::Matrix& x, size_t row, const la::Matrix& centers,
-                   size_t c, bool manhattan) {
+                   size_t c, bool manhattan,
+                   double bound = std::numeric_limits<double>::infinity()) {
   const size_t f = x.cols();
   const double* xr = &x.data()[row * f];
   const double* cr = &centers.data()[c * f];
   double s = 0.0;
   if (manhattan) {
     for (size_t j = 0; j < f; ++j) s += std::fabs(xr[j] - cr[j]);
-  } else {
-    for (size_t j = 0; j < f; ++j) {
-      const double d = xr[j] - cr[j];
+    return s;
+  }
+  // Squared Euclidean with exact early exit: the terms are non-negative and
+  // summed in a fixed order, so every prefix is a lower bound of the final
+  // value — once a prefix reaches `bound`, the caller's strict `< bound`
+  // test can never pass, and returning the prefix changes no decision.
+  // Checked every 8 lanes to keep the branch off the inner adds.
+  size_t j = 0;
+  for (; j + 8 <= f; j += 8) {
+    for (size_t u = 0; u < 8; ++u) {
+      const double d = xr[j + u] - cr[j + u];
       s += d * d;
     }
+    if (s >= bound) return s;
+  }
+  for (; j < f; ++j) {
+    const double d = xr[j] - cr[j];
+    s += d * d;
   }
   return s;  // squared Euclidean (or L1) — monotone, fine for argmin
 }
@@ -43,7 +57,8 @@ KMeansResult KMeans(const la::Matrix& x, const KMeansParams& params, Rng& rng) {
   for (size_t c = 1; c < k; ++c) {
     double total = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      const double d = RowDistance(x, i, centers, c - 1, /*manhattan=*/false);
+      const double d = RowDistance(x, i, centers, c - 1, /*manhattan=*/false,
+                                   min_d2[i]);
       if (d < min_d2[i]) min_d2[i] = d;
       total += min_d2[i];
     }
@@ -72,7 +87,8 @@ KMeansResult KMeans(const la::Matrix& x, const KMeansParams& params, Rng& rng) {
       double best = std::numeric_limits<double>::max();
       int best_c = 0;
       for (size_t c = 0; c < k; ++c) {
-        const double d = RowDistance(x, i, centers, c, params.manhattan);
+        const double d =
+            RowDistance(x, i, centers, c, params.manhattan, best);
         if (d < best) {
           best = d;
           best_c = static_cast<int>(c);

@@ -6,6 +6,7 @@
 
 #include "clustering/differentiation.h"
 #include "common/check.h"
+#include "la/kernels.h"
 
 namespace rmi::cluster {
 
@@ -63,7 +64,7 @@ Clustering DasaKMeansClusterer::Cluster(const SampleSet& samples,
       best_k = k;
     }
   }
-  last_k_ = best_k;
+  last_k_.store(best_k, std::memory_order_relaxed);
 
   KMeansParams p;
   p.k = best_k;
@@ -191,9 +192,8 @@ Clustering DbscanClusterer::Cluster(const SampleSet& samples, Rng&) const {
 
   auto neighbors = [&](size_t i) {
     std::vector<size_t> out;
-    const la::Matrix xi = x.Row(i);
     for (size_t j = 0; j < n; ++j) {
-      if (la::Matrix::SquaredDistance(xi, x.Row(j)) <= eps2) out.push_back(j);
+      if (la::RowSquaredDistance(x, i, x, j) <= eps2) out.push_back(j);
     }
     return out;
   };

@@ -9,6 +9,7 @@
 #ifndef RMI_CLUSTERING_STRATEGIES_H_
 #define RMI_CLUSTERING_STRATEGIES_H_
 
+#include <atomic>
 #include <vector>
 
 #include "clustering/clusterer.h"
@@ -48,12 +49,13 @@ class DasaKMeansClusterer : public Clusterer {
   Clustering Cluster(const SampleSet& samples, Rng& rng) const override;
   std::string name() const override { return "DasaKM"; }
 
-  /// The K selected by the last Cluster() call (diagnostic).
-  size_t last_k() const { return last_k_; }
+  /// The K selected by the last Cluster() call (diagnostic; atomic so
+  /// concurrent Cluster calls on a shared instance stay well-defined).
+  size_t last_k() const { return last_k_.load(std::memory_order_relaxed); }
 
  private:
   Params params_;
-  mutable size_t last_k_ = 0;
+  mutable std::atomic<size_t> last_k_{0};
 };
 
 /// Algorithm 5 (TopoAC): agglomerative merging by minimum center-to-center

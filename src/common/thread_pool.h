@@ -1,0 +1,133 @@
+// Minimal fixed-size thread pool for deterministic data-parallel loops.
+//
+// ParallelFor partitions [0, count) statically by index modulo worker
+// count, so the (worker, index) assignment — and therefore any per-worker
+// accumulation order — is a pure function of (count, num_threads). Results
+// merged in worker order are reproducible run-to-run for a fixed thread
+// count. With num_threads <= 1 everything runs inline on the caller.
+#ifndef RMI_COMMON_THREAD_POOL_H_
+#define RMI_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rmi {
+
+class ThreadPool {
+ public:
+  /// num_threads == 0 picks the hardware concurrency. A pool constructed
+  /// from inside another pool's worker is forced to 1 thread (inline
+  /// execution): nested fan-outs — e.g. a parallel bench harness whose
+  /// workers run parallel training — would otherwise multiply thread
+  /// counts and oversubscribe the machine.
+  explicit ThreadPool(size_t num_threads)
+      : num_threads_(InsideWorker() ? 1
+                     : num_threads == 0 ? DefaultThreads()
+                                        : num_threads) {
+    // Worker 0 is the calling thread; spawn the rest.
+    for (size_t w = 1; w < num_threads_; ++w) {
+      workers_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  static size_t DefaultThreads() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<size_t>(hc);
+  }
+
+  /// Runs fn(worker, index) for every index in [0, count); worker w handles
+  /// the indices congruent to w modulo num_threads(). Blocks until all
+  /// indices complete. The calling thread acts as worker 0.
+  void ParallelFor(size_t count,
+                   const std::function<void(size_t worker, size_t index)>& fn) {
+    if (count == 0) return;
+    if (num_threads_ <= 1) {
+      for (size_t i = 0; i < count; ++i) fn(0, i);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      task_ = &fn;
+      count_ = count;
+      pending_workers_ = num_threads_ - 1;
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    RunShard(0, count, fn);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+    task_ = nullptr;
+  }
+
+ private:
+  static bool& InsideWorkerFlag() {
+    thread_local bool inside = false;
+    return inside;
+  }
+  static bool InsideWorker() { return InsideWorkerFlag(); }
+
+  void RunShard(size_t worker, size_t count,
+                const std::function<void(size_t, size_t)>& fn) {
+    bool& inside = InsideWorkerFlag();
+    const bool was_inside = inside;
+    inside = true;
+    for (size_t i = worker; i < count; i += num_threads_) fn(worker, i);
+    inside = was_inside;
+  }
+
+  void WorkerLoop(size_t worker) {
+    size_t seen_generation = 0;
+    while (true) {
+      const std::function<void(size_t, size_t)>* task = nullptr;
+      size_t count = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        start_cv_.wait(lock, [&] {
+          return shutdown_ || generation_ != seen_generation;
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+        task = task_;
+        count = count_;
+      }
+      RunShard(worker, count, *task);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_workers_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  const size_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t, size_t)>* task_ = nullptr;
+  size_t count_ = 0;
+  size_t pending_workers_ = 0;
+  size_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace rmi
+
+#endif  // RMI_COMMON_THREAD_POOL_H_

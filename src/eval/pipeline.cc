@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "eval/metrics.h"
 
@@ -83,29 +84,42 @@ std::vector<PipelineResult> RunPipelineMultiEstimators(
   }
   RMI_CHECK(!training.empty());
 
-  // C: each estimator evaluated on the identical imputed split.
+  // C: each estimator evaluated on the identical imputed split. Query
+  // fingerprints are assembled once; the (read-only) location queries then
+  // fan out over a pool — results land in pre-sized slots, so the output
+  // is independent of scheduling.
+  std::vector<std::vector<double>> fingerprints;
+  std::vector<geom::Point> truths;
+  fingerprints.reserve(test_indices.size());
+  truths.reserve(test_indices.size());
+  for (size_t i : test_indices) {
+    const size_t id = map.record(i).id;
+    std::vector<double> fingerprint;
+    auto it = imputed_by_id.find(id);
+    if (it != imputed_by_id.end()) {
+      fingerprint = it->second->rssi;
+    } else {
+      // The imputer deleted the (null-RP) test record — CaseDeletion
+      // semantics: use the raw fingerprint with the -100 dBm fill.
+      fingerprint = map.record(i).rssi;
+      for (double& v : fingerprint) {
+        if (IsNull(v)) v = kMnarFillDbm;
+      }
+    }
+    fingerprints.push_back(std::move(fingerprint));
+    truths.push_back(truth_by_id.at(id));
+  }
+
+  ThreadPool pool(std::min(ThreadPool::DefaultThreads(),
+                           std::max<size_t>(1, fingerprints.size())));
   std::vector<PipelineResult> results;
   for (positioning::LocationEstimator* estimator : estimators) {
     RMI_CHECK(estimator != nullptr);
     estimator->Fit(training, rng);
-    std::vector<geom::Point> estimates, truths;
-    for (size_t i : test_indices) {
-      const size_t id = map.record(i).id;
-      std::vector<double> fingerprint;
-      auto it = imputed_by_id.find(id);
-      if (it != imputed_by_id.end()) {
-        fingerprint = it->second->rssi;
-      } else {
-        // The imputer deleted the (null-RP) test record — CaseDeletion
-        // semantics: use the raw fingerprint with the -100 dBm fill.
-        fingerprint = map.record(i).rssi;
-        for (double& v : fingerprint) {
-          if (IsNull(v)) v = kMnarFillDbm;
-        }
-      }
-      estimates.push_back(estimator->Estimate(fingerprint));
-      truths.push_back(truth_by_id.at(id));
-    }
+    std::vector<geom::Point> estimates(fingerprints.size());
+    pool.ParallelFor(fingerprints.size(), [&](size_t /*worker*/, size_t q) {
+      estimates[q] = estimator->Estimate(fingerprints[q]);
+    });
     PipelineResult r = result;
     r.ape = AveragePositioningError(estimates, truths);
     r.errors.reserve(estimates.size());

@@ -141,14 +141,11 @@ struct RitsCore {
     for (size_t t = 0; t < t_len; ++t) {
       const Step& s = seq[order[t]];
       la::Matrix delta = StepDelta(seq, order, t, &prev_delta, &prev_m);
-      Tensor x = Tensor::Constant(s.x);
       Tensor m = Tensor::Constant(s.m);
-      Tensor inv_m = Tensor::Constant(s.m.Map([](double v) { return 1.0 - v; }));
       Tensor x_pred = regress.Forward(st.h);
-      Tensor x_comb = ad::Add(ad::Mul(m, x), ad::Mul(inv_m, x_pred));
+      Tensor x_comb = ad::MaskCombine(s.m, s.x, x_pred);
       Tensor gamma = ad::Exp(ad::Scale(
-          ad::Relu(ad::AddRowBroadcast(
-              ad::MatMul(Tensor::Constant(delta), w_gamma), b_gamma)),
+          ad::Relu(ad::Affine(Tensor::Constant(delta), w_gamma, b_gamma)),
           -1.0));
       nn::LstmCell::State decayed{ad::Mul(st.h, gamma), st.c};
       st = cell.Forward(ad::ConcatCols(x_comb, m), decayed);
@@ -266,15 +263,12 @@ rmap::RadioMap SsganImputer::Impute(const rmap::RadioMap& map,
     for (size_t t = 0; t < seq.size(); ++t) {
       const Step& s = seq[t];
       la::Matrix delta = StepDelta(seq, order, t, &prev_delta, &prev_m);
-      Tensor x = Tensor::Constant(s.x);
       Tensor m = Tensor::Constant(s.m);
-      Tensor inv_m =
-          Tensor::Constant(s.m.Map([](double v) { return 1.0 - v; }));
       Tensor x_pred = gen.regress.Forward(h);
-      Tensor x_comb = ad::Add(ad::Mul(m, x), ad::Mul(inv_m, x_pred));
+      Tensor x_comb = ad::MaskCombine(s.m, s.x, x_pred);
       Tensor gamma = ad::Exp(ad::Scale(
-          ad::Relu(ad::AddRowBroadcast(
-              ad::MatMul(Tensor::Constant(delta), gen.w_gamma), gen.b_gamma)),
+          ad::Relu(ad::Affine(Tensor::Constant(delta), gen.w_gamma,
+                              gen.b_gamma)),
           -1.0));
       h = gen.cell.Forward(ad::ConcatCols(x_comb, m), ad::Mul(h, gamma));
       out.emplace_back(x_pred, x_comb);

@@ -1,0 +1,244 @@
+#include "la/kernels.h"
+
+#include <algorithm>
+
+namespace rmi::la {
+
+namespace {
+
+/// Cache block edge for the large no-transpose GEMM path (doubles; 64x64
+/// tiles keep one C tile plus streamed A/B panels inside L1/L2).
+constexpr size_t kBlock = 64;
+
+/// Flop threshold above which the no-transpose path switches to blocking.
+constexpr size_t kBlockThreshold = 128 * 128 * 128;
+
+/// Scales C by beta (0 means overwrite semantics: just zero).
+void ApplyBeta(double beta, Matrix* c) {
+  if (beta == 1.0) return;
+  if (beta == 0.0) {
+    Fill(c, 0.0);
+  } else {
+    ScaleInPlace(beta, c);
+  }
+}
+
+/// C += alpha * A * B, streaming ikj — identical accumulation order to the
+/// naive ikj product (each C(i,j) sums over k ascending).
+void GemmNN(double alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* pc = c->data().data();
+  if (m * k * n >= kBlockThreshold) {
+    // Cache-blocked over (kk, jj); the k loop stays ascending per C entry,
+    // so results are bit-identical to the streaming loop.
+    for (size_t kk = 0; kk < k; kk += kBlock) {
+      const size_t k_end = std::min(kk + kBlock, k);
+      for (size_t jj = 0; jj < n; jj += kBlock) {
+        const size_t j_end = std::min(jj + kBlock, n);
+        for (size_t i = 0; i < m; ++i) {
+          const double* arow = pa + i * k;
+          double* crow = pc + i * n;
+          for (size_t kx = kk; kx < k_end; ++kx) {
+            const double aik = alpha * arow[kx];
+            if (aik == 0.0) continue;
+            const double* brow = pb + kx * n;
+            for (size_t j = jj; j < j_end; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = pa + i * k;
+    double* crow = pc + i * n;
+    for (size_t kx = 0; kx < k; ++kx) {
+      const double aik = alpha * arow[kx];
+      if (aik == 0.0) continue;
+      const double* brow = pb + kx * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+/// C += alpha * A^T * B — rank-1 style updates: for each shared row k,
+/// C(i, :) += A(k, i) * B(k, :). Per-entry accumulation runs over k
+/// ascending (matches transposing A first and streaming ikj).
+void GemmTN(double alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+  const size_t m = a.cols(), k = a.rows(), n = b.cols();
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* pc = c->data().data();
+  for (size_t kx = 0; kx < k; ++kx) {
+    const double* arow = pa + kx * m;
+    const double* brow = pb + kx * n;
+    for (size_t i = 0; i < m; ++i) {
+      const double aki = alpha * arow[i];
+      if (aki == 0.0) continue;
+      double* crow = pc + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+/// C += alpha * A * B^T — dot products of contiguous rows.
+void GemmNT(double alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* pc = c->data().data();
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = pa + i * k;
+    double* crow = pc + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const double* brow = pb + j * k;
+      double dot = 0.0;
+      for (size_t kx = 0; kx < k; ++kx) dot += arow[kx] * brow[kx];
+      crow[j] += alpha * dot;
+    }
+  }
+}
+
+/// C += alpha * A^T * B^T.
+void GemmTT(double alpha, const Matrix& a, const Matrix& b, Matrix* c) {
+  const size_t m = a.cols(), k = a.rows(), n = b.rows();
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* pc = c->data().data();
+  for (size_t i = 0; i < m; ++i) {
+    double* crow = pc + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const double* brow = pb + j * k;
+      double dot = 0.0;
+      for (size_t kx = 0; kx < k; ++kx) dot += pa[kx * m + i] * brow[kx];
+      crow[j] += alpha * dot;
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(double alpha, const Matrix& a, bool trans_a, const Matrix& b,
+          bool trans_b, double beta, Matrix* c) {
+  const size_t m = trans_a ? a.cols() : a.rows();
+  const size_t ka = trans_a ? a.rows() : a.cols();
+  const size_t kb = trans_b ? b.cols() : b.rows();
+  const size_t n = trans_b ? b.rows() : b.cols();
+  RMI_CHECK_EQ(ka, kb);
+  if (beta == 0.0) {
+    ResizeTo(c, m, n);
+  } else {
+    RMI_CHECK_EQ(c->rows(), m);
+    RMI_CHECK_EQ(c->cols(), n);
+  }
+  ApplyBeta(beta, c);
+  if (alpha == 0.0 || ka == 0) return;
+  if (!trans_a && !trans_b) {
+    GemmNN(alpha, a, b, c);
+  } else if (trans_a && !trans_b) {
+    GemmTN(alpha, a, b, c);
+  } else if (!trans_a && trans_b) {
+    GemmNT(alpha, a, b, c);
+  } else {
+    GemmTT(alpha, a, b, c);
+  }
+}
+
+void Axpy(double alpha, const Matrix& x, Matrix* y) {
+  RMI_CHECK(x.SameShape(*y));
+  const double* px = x.data().data();
+  double* py = y->data().data();
+  const size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+}
+
+void ScaleInPlace(double alpha, Matrix* x) {
+  double* v = x->data().data();
+  const size_t n = x->size();
+  for (size_t i = 0; i < n; ++i) v[i] *= alpha;
+}
+
+void Fill(Matrix* x, double value) {
+  std::fill(x->data().begin(), x->data().end(), value);
+}
+
+void AddRowBroadcastInto(const Matrix& a, const Matrix& row, Matrix* out) {
+  RMI_CHECK_EQ(row.rows(), 1u);
+  RMI_CHECK_EQ(row.cols(), a.cols());
+  ResizeTo(out, a.rows(), a.cols());
+  const double* pa = a.data().data();
+  const double* pr = row.data().data();
+  double* po = out->data().data();
+  const size_t cols = a.cols();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = pa + i * cols;
+    double* orow = po + i * cols;
+    for (size_t j = 0; j < cols; ++j) orow[j] = arow[j] + pr[j];
+  }
+}
+
+void AccumulateColSums(const Matrix& a, Matrix* row) {
+  RMI_CHECK_EQ(row->rows(), 1u);
+  RMI_CHECK_EQ(row->cols(), a.cols());
+  const double* pa = a.data().data();
+  double* pr = row->data().data();
+  const size_t cols = a.cols();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = pa + i * cols;
+    for (size_t j = 0; j < cols; ++j) pr[j] += arow[j];
+  }
+}
+
+void MaskCombineInto(const Matrix& m, const Matrix& obs, const Matrix& pred,
+                     Matrix* out) {
+  RMI_CHECK(m.SameShape(obs));
+  RMI_CHECK(m.SameShape(pred));
+  ResizeTo(out, m.rows(), m.cols());
+  const double* pm = m.data().data();
+  const double* po = obs.data().data();
+  const double* pp = pred.data().data();
+  double* dst = out->data().data();
+  const size_t n = m.size();
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = pm[i] * po[i] + (1.0 - pm[i]) * pp[i];
+  }
+}
+
+void ConcatColsInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  RMI_CHECK_EQ(a.rows(), b.rows());
+  ResizeTo(out, a.rows(), a.cols() + b.cols());
+  const size_t ca = a.cols(), cb = b.cols();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    std::copy_n(&a.data()[i * ca], ca, &out->data()[i * (ca + cb)]);
+    std::copy_n(&b.data()[i * cb], cb, &out->data()[i * (ca + cb) + ca]);
+  }
+}
+
+void SliceColsInto(const Matrix& x, size_t c0, size_t c1, Matrix* out) {
+  RMI_CHECK_LE(c0, c1);
+  RMI_CHECK_LE(c1, x.cols());
+  ResizeTo(out, x.rows(), c1 - c0);
+  const size_t w = c1 - c0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    std::copy_n(&x.data()[i * x.cols() + c0], w, &out->data()[i * w]);
+  }
+}
+
+double RowSquaredDistance(const Matrix& a, size_t ra, const Matrix& b,
+                          size_t rb) {
+  RMI_CHECK_EQ(a.cols(), b.cols());
+  RMI_CHECK_LT(ra, a.rows());
+  RMI_CHECK_LT(rb, b.rows());
+  const double* pa = a.data().data() + ra * a.cols();
+  const double* pb = b.data().data() + rb * b.cols();
+  double s = 0.0;
+  for (size_t j = 0; j < a.cols(); ++j) {
+    const double d = pa[j] - pb[j];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace rmi::la

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "la/kernels.h"
+
 namespace rmi::la {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
@@ -106,18 +108,8 @@ Matrix& Matrix::operator*=(double s) {
 
 Matrix Matrix::MatMul(const Matrix& o) const {
   RMI_CHECK_EQ(cols_, o.rows_);
-  Matrix r(rows_, o.cols_);
-  // ikj loop order: streaming access over both operands' rows.
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* arow = &data_[i * cols_];
-    double* rrow = &r.data_[i * o.cols_];
-    for (size_t k = 0; k < cols_; ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = &o.data_[k * o.cols_];
-      for (size_t j = 0; j < o.cols_; ++j) rrow[j] += aik * brow[j];
-    }
-  }
+  Matrix r;
+  Gemm(1.0, *this, /*trans_a=*/false, o, /*trans_b=*/false, 0.0, &r);
   return r;
 }
 
@@ -126,12 +118,6 @@ Matrix Matrix::Transpose() const {
   for (size_t i = 0; i < rows_; ++i) {
     for (size_t j = 0; j < cols_; ++j) r(j, i) = (*this)(i, j);
   }
-  return r;
-}
-
-Matrix Matrix::Map(const std::function<double(double)>& f) const {
-  Matrix r = *this;
-  for (double& v : r.data_) v = f(v);
   return r;
 }
 
@@ -298,8 +284,13 @@ Matrix CholeskySolve(const Matrix& a, const Matrix& b, double ridge) {
 
 Matrix RidgeRegression(const Matrix& a, const Matrix& b, double lambda) {
   RMI_CHECK_EQ(a.rows(), b.rows());
-  const Matrix at = a.Transpose();
-  return CholeskySolve(at.MatMul(a), at.MatMul(b), lambda);
+  // Normal equations via the transpose-aware GEMM — no explicit A^T
+  // materialization (A is n x k with n in the thousands for the
+  // regression baselines).
+  Matrix ata, atb;
+  Gemm(1.0, a, /*trans_a=*/true, a, /*trans_b=*/false, 0.0, &ata);
+  Gemm(1.0, a, /*trans_a=*/true, b, /*trans_b=*/false, 0.0, &atb);
+  return CholeskySolve(ata, atb, lambda);
 }
 
 }  // namespace rmi::la

@@ -8,9 +8,9 @@
 #define RMI_LA_MATRIX_H_
 
 #include <cstddef>
-#include <functional>
 #include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -46,6 +46,16 @@ class Matrix {
   static Matrix RowVector(const std::vector<double>& values);
   /// n x 1 column vector from values.
   static Matrix ColVector(const std::vector<double>& values);
+  /// Wraps an existing buffer (resized to rows*cols) — lets a pooled
+  /// allocator hand storage to a matrix without copying.
+  static Matrix Adopt(size_t rows, size_t cols, std::vector<double> buffer) {
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(buffer);
+    m.data_.resize(rows * cols);
+    return m;
+  }
 
   /// Element access. ------------------------------------------------------
   double& operator()(size_t r, size_t c) {
@@ -70,6 +80,22 @@ class Matrix {
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }
 
+  /// Changes dimensions in place, reusing the heap buffer when the new
+  /// element count fits the existing capacity. New elements (if any) are
+  /// zero; existing elements keep their row-major positions.
+  void Reshape(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  /// Steals the underlying buffer (the matrix becomes empty) — the inverse
+  /// of Adopt, used to recycle storage into a pool.
+  std::vector<double> TakeBuffer() {
+    rows_ = cols_ = 0;
+    return std::move(data_);
+  }
+
   /// Arithmetic (shape-checked). ------------------------------------------
   Matrix operator+(const Matrix& o) const;
   Matrix operator-(const Matrix& o) const;
@@ -89,8 +115,14 @@ class Matrix {
 
   Matrix Transpose() const;
 
-  /// Applies `f` to every element.
-  Matrix Map(const std::function<double(double)>& f) const;
+  /// Applies `f` to every element. Template functor — the callable is
+  /// inlined at the call site (no std::function in the element loop).
+  template <typename F>
+  Matrix Map(F&& f) const {
+    Matrix r = *this;
+    for (double& v : r.data_) v = f(v);
+    return r;
+  }
 
   /// Adds row vector `row` (1 x cols) to every row (bias broadcast).
   Matrix AddRowBroadcast(const Matrix& row) const;

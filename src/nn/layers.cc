@@ -18,7 +18,7 @@ Linear::Linear(size_t in, size_t out, Rng& rng)
       b_(Tensor::Param(la::Matrix(1, out))) {}
 
 Tensor Linear::Forward(const Tensor& x) const {
-  return ad::AddRowBroadcast(ad::MatMul(x, w_), b_);
+  return ad::Affine(x, w_, b_);
 }
 
 LstmCell::LstmCell(size_t in, size_t hidden, Rng& rng)
@@ -37,14 +37,9 @@ LstmCell::State LstmCell::InitialState() const {
 LstmCell::State LstmCell::Forward(const Tensor& x, const State& prev) const {
   RMI_CHECK_EQ(x.cols(), in_);
   Tensor xh = ad::ConcatCols(x, prev.h);
-  Tensor gates = ad::AddRowBroadcast(ad::MatMul(xh, w_), b_);
-  Tensor i = ad::Sigmoid(ad::SliceCols(gates, 0, hidden_));
-  Tensor f = ad::Sigmoid(ad::SliceCols(gates, hidden_, 2 * hidden_));
-  Tensor g = ad::Tanh(ad::SliceCols(gates, 2 * hidden_, 3 * hidden_));
-  Tensor o = ad::Sigmoid(ad::SliceCols(gates, 3 * hidden_, 4 * hidden_));
-  Tensor c = ad::Add(ad::Mul(f, prev.c), ad::Mul(i, g));
-  Tensor h = ad::Mul(o, ad::Tanh(c));
-  return {h, c};
+  Tensor gates = ad::Affine(xh, w_, b_);
+  Tensor hc = ad::LstmGates(gates, prev.c);
+  return {ad::SliceCols(hc, 0, hidden_), ad::SliceCols(hc, hidden_, 2 * hidden_)};
 }
 
 GruCell::GruCell(size_t in, size_t hidden, Rng& rng)
@@ -54,7 +49,8 @@ GruCell::GruCell(size_t in, size_t hidden, Rng& rng)
       wh_(Tensor::Param(XavierInit(in + hidden, hidden, rng))),
       bz_(Tensor::Param(la::Matrix(1, hidden))),
       br_(Tensor::Param(la::Matrix(1, hidden))),
-      bh_(Tensor::Param(la::Matrix(1, hidden))) {}
+      bh_(Tensor::Param(la::Matrix(1, hidden))),
+      ones_row_(1, hidden, 1.0) {}
 
 Tensor GruCell::InitialState() const {
   return Tensor::Constant(la::Matrix(1, hidden_));
@@ -63,12 +59,12 @@ Tensor GruCell::InitialState() const {
 Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
   RMI_CHECK_EQ(x.cols(), in_);
   Tensor xh = ad::ConcatCols(x, h);
-  Tensor z = ad::Sigmoid(ad::AddRowBroadcast(ad::MatMul(xh, wz_), bz_));
-  Tensor r = ad::Sigmoid(ad::AddRowBroadcast(ad::MatMul(xh, wr_), br_));
+  Tensor z = ad::Sigmoid(ad::Affine(xh, wz_, bz_));
+  Tensor r = ad::Sigmoid(ad::Affine(xh, wr_, br_));
   Tensor xrh = ad::ConcatCols(x, ad::Mul(r, h));
-  Tensor hb = ad::Tanh(ad::AddRowBroadcast(ad::MatMul(xrh, wh_), bh_));
+  Tensor hb = ad::Tanh(ad::Affine(xrh, wh_, bh_));
   // h' = (1-z) * h + z * hb
-  Tensor one_minus_z = ad::Sub(Tensor::Constant(la::Matrix(1, hidden_, 1.0)), z);
+  Tensor one_minus_z = ad::Sub(Tensor::Constant(ones_row_), z);
   return ad::Add(ad::Mul(one_minus_z, h), ad::Mul(z, hb));
 }
 

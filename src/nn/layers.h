@@ -77,6 +77,7 @@ class GruCell {
   size_t hidden_ = 0;
   ad::Tensor wz_, wr_, wh_;  ///< (in + hidden) x hidden each
   ad::Tensor bz_, br_, bh_;
+  la::Matrix ones_row_;  ///< cached 1 x hidden of ones (per-step constant)
 };
 
 /// Multilayer perceptron with tanh activations between layers (no

@@ -29,6 +29,10 @@ class LocationEstimator {
   virtual geom::Point Estimate(const std::vector<double>& fingerprint) const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Deep copy (including any fitted state) — lets independent evaluation
+  /// runs fan out over threads with private estimator instances.
+  virtual std::unique_ptr<LocationEstimator> Clone() const = 0;
 };
 
 /// KNN / WKNN (weighted = inverse distance).
@@ -40,6 +44,9 @@ class KnnEstimator : public LocationEstimator {
   void Fit(const rmap::RadioMap& map, Rng& rng) override;
   geom::Point Estimate(const std::vector<double>& fingerprint) const override;
   std::string name() const override { return weighted_ ? "WKNN" : "KNN"; }
+  std::unique_ptr<LocationEstimator> Clone() const override {
+    return std::make_unique<KnnEstimator>(*this);
+  }
 
  private:
   size_t k_;
@@ -66,6 +73,9 @@ class RandomForestEstimator : public LocationEstimator {
   void Fit(const rmap::RadioMap& map, Rng& rng) override;
   geom::Point Estimate(const std::vector<double>& fingerprint) const override;
   std::string name() const override { return "RF"; }
+  std::unique_ptr<LocationEstimator> Clone() const override {
+    return std::make_unique<RandomForestEstimator>(*this);
+  }
 
  private:
   struct TreeNode {
