@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascii_map_test.dir/tests/ascii_map_test.cc.o"
+  "CMakeFiles/ascii_map_test.dir/tests/ascii_map_test.cc.o.d"
+  "ascii_map_test"
+  "ascii_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascii_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

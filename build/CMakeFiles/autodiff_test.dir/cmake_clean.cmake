@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodiff_test.dir/tests/autodiff_test.cc.o"
+  "CMakeFiles/autodiff_test.dir/tests/autodiff_test.cc.o.d"
+  "autodiff_test"
+  "autodiff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodiff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

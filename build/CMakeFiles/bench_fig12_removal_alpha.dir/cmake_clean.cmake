@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_removal_alpha.dir/bench/bench_fig12_removal_alpha.cc.o"
+  "CMakeFiles/bench_fig12_removal_alpha.dir/bench/bench_fig12_removal_alpha.cc.o.d"
+  "bench_fig12_removal_alpha"
+  "bench_fig12_removal_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_removal_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

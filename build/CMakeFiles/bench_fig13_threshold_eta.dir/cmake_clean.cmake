@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_threshold_eta.dir/bench/bench_fig13_threshold_eta.cc.o"
+  "CMakeFiles/bench_fig13_threshold_eta.dir/bench/bench_fig13_threshold_eta.cc.o.d"
+  "bench_fig13_threshold_eta"
+  "bench_fig13_threshold_eta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_threshold_eta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_removal_beta_mae.dir/bench/bench_fig14_removal_beta_mae.cc.o"
+  "CMakeFiles/bench_fig14_removal_beta_mae.dir/bench/bench_fig14_removal_beta_mae.cc.o.d"
+  "bench_fig14_removal_beta_mae"
+  "bench_fig14_removal_beta_mae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_removal_beta_mae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

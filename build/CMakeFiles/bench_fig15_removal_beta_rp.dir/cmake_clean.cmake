@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_removal_beta_rp.dir/bench/bench_fig15_removal_beta_rp.cc.o"
+  "CMakeFiles/bench_fig15_removal_beta_rp.dir/bench/bench_fig15_removal_beta_rp.cc.o.d"
+  "bench_fig15_removal_beta_rp"
+  "bench_fig15_removal_beta_rp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_removal_beta_rp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

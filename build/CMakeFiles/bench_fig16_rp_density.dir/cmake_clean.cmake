@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_rp_density.dir/bench/bench_fig16_rp_density.cc.o"
+  "CMakeFiles/bench_fig16_rp_density.dir/bench/bench_fig16_rp_density.cc.o.d"
+  "bench_fig16_rp_density"
+  "bench_fig16_rp_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_rp_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

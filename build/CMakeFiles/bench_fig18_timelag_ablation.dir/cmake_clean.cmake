@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_timelag_ablation.dir/bench/bench_fig18_timelag_ablation.cc.o"
+  "CMakeFiles/bench_fig18_timelag_ablation.dir/bench/bench_fig18_timelag_ablation.cc.o.d"
+  "bench_fig18_timelag_ablation"
+  "bench_fig18_timelag_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_timelag_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_observability.dir/bench/bench_fig3_observability.cc.o"
+  "CMakeFiles/bench_fig3_observability.dir/bench/bench_fig3_observability.cc.o.d"
+  "bench_fig3_observability"
+  "bench_fig3_observability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_observability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

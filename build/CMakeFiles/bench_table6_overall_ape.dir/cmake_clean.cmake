@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_overall_ape.dir/bench/bench_table6_overall_ape.cc.o"
+  "CMakeFiles/bench_table6_overall_ape.dir/bench/bench_table6_overall_ape.cc.o.d"
+  "bench_table6_overall_ape"
+  "bench_table6_overall_ape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_overall_ape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_time_cost.dir/bench/bench_table7_time_cost.cc.o"
+  "CMakeFiles/bench_table7_time_cost.dir/bench/bench_table7_time_cost.cc.o.d"
+  "bench_table7_time_cost"
+  "bench_table7_time_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_time_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

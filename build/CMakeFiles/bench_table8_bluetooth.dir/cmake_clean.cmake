@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_bluetooth.dir/bench/bench_table8_bluetooth.cc.o"
+  "CMakeFiles/bench_table8_bluetooth.dir/bench/bench_table8_bluetooth.cc.o.d"
+  "bench_table8_bluetooth"
+  "bench_table8_bluetooth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_bluetooth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisim_test.dir/tests/bisim_test.cc.o"
+  "CMakeFiles/bisim_test.dir/tests/bisim_test.cc.o.d"
+  "bisim_test"
+  "bisim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

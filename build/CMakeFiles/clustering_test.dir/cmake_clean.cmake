@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_test.dir/tests/clustering_test.cc.o"
+  "CMakeFiles/clustering_test.dir/tests/clustering_test.cc.o.d"
+  "clustering_test"
+  "clustering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bluetooth_longhu.dir/examples/bluetooth_longhu.cpp.o"
+  "CMakeFiles/example_bluetooth_longhu.dir/examples/bluetooth_longhu.cpp.o.d"
+  "example_bluetooth_longhu"
+  "example_bluetooth_longhu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bluetooth_longhu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_bluetooth_longhu.
+# This may be replaced when dependencies are built.

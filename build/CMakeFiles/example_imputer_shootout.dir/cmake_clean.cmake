@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_imputer_shootout.dir/examples/imputer_shootout.cpp.o"
+  "CMakeFiles/example_imputer_shootout.dir/examples/imputer_shootout.cpp.o.d"
+  "example_imputer_shootout"
+  "example_imputer_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_imputer_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_online_positioning.dir/examples/online_positioning.cpp.o"
+  "CMakeFiles/example_online_positioning.dir/examples/online_positioning.cpp.o.d"
+  "example_online_positioning"
+  "example_online_positioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_online_positioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_venue_survey_tour.dir/examples/venue_survey_tour.cpp.o"
+  "CMakeFiles/example_venue_survey_tour.dir/examples/venue_survey_tour.cpp.o.d"
+  "example_venue_survey_tour"
+  "example_venue_survey_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_venue_survey_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imputers_test.dir/tests/imputers_test.cc.o"
+  "CMakeFiles/imputers_test.dir/tests/imputers_test.cc.o.d"
+  "imputers_test"
+  "imputers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imputers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

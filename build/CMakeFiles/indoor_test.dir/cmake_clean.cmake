@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indoor_test.dir/tests/indoor_test.cc.o"
+  "CMakeFiles/indoor_test.dir/tests/indoor_test.cc.o.d"
+  "indoor_test"
+  "indoor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indoor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

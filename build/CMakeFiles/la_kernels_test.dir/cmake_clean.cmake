@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_kernels_test.dir/tests/la_kernels_test.cc.o"
+  "CMakeFiles/la_kernels_test.dir/tests/la_kernels_test.cc.o.d"
+  "la_kernels_test"
+  "la_kernels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_imputer_test.dir/tests/online_imputer_test.cc.o"
+  "CMakeFiles/online_imputer_test.dir/tests/online_imputer_test.cc.o.d"
+  "online_imputer_test"
+  "online_imputer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_imputer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

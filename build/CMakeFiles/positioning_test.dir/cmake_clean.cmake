@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/positioning_test.dir/tests/positioning_test.cc.o"
+  "CMakeFiles/positioning_test.dir/tests/positioning_test.cc.o.d"
+  "positioning_test"
+  "positioning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/positioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

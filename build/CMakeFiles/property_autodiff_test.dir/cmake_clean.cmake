@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_autodiff_test.dir/tests/property_autodiff_test.cc.o"
+  "CMakeFiles/property_autodiff_test.dir/tests/property_autodiff_test.cc.o.d"
+  "property_autodiff_test"
+  "property_autodiff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_autodiff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_imputers_test.dir/tests/property_imputers_test.cc.o"
+  "CMakeFiles/property_imputers_test.dir/tests/property_imputers_test.cc.o.d"
+  "property_imputers_test"
+  "property_imputers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_imputers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_la_test.dir/tests/property_la_test.cc.o"
+  "CMakeFiles/property_la_test.dir/tests/property_la_test.cc.o.d"
+  "property_la_test"
+  "property_la_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_la_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

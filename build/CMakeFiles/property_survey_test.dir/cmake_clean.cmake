@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_survey_test.dir/tests/property_survey_test.cc.o"
+  "CMakeFiles/property_survey_test.dir/tests/property_survey_test.cc.o.d"
+  "property_survey_test"
+  "property_survey_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_survey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

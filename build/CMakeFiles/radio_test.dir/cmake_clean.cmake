@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_test.dir/tests/radio_test.cc.o"
+  "CMakeFiles/radio_test.dir/tests/radio_test.cc.o.d"
+  "radio_test"
+  "radio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

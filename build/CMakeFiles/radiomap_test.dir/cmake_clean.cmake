@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radiomap_test.dir/tests/radiomap_test.cc.o"
+  "CMakeFiles/radiomap_test.dir/tests/radiomap_test.cc.o.d"
+  "radiomap_test"
+  "radiomap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radiomap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autodiff/optimizer.cc" "CMakeFiles/rmi.dir/src/autodiff/optimizer.cc.o" "gcc" "CMakeFiles/rmi.dir/src/autodiff/optimizer.cc.o.d"
+  "/root/repo/src/autodiff/tensor.cc" "CMakeFiles/rmi.dir/src/autodiff/tensor.cc.o" "gcc" "CMakeFiles/rmi.dir/src/autodiff/tensor.cc.o.d"
+  "/root/repo/src/autodiff/workspace.cc" "CMakeFiles/rmi.dir/src/autodiff/workspace.cc.o" "gcc" "CMakeFiles/rmi.dir/src/autodiff/workspace.cc.o.d"
+  "/root/repo/src/bisim/bisim.cc" "CMakeFiles/rmi.dir/src/bisim/bisim.cc.o" "gcc" "CMakeFiles/rmi.dir/src/bisim/bisim.cc.o.d"
+  "/root/repo/src/clustering/clusterer.cc" "CMakeFiles/rmi.dir/src/clustering/clusterer.cc.o" "gcc" "CMakeFiles/rmi.dir/src/clustering/clusterer.cc.o.d"
+  "/root/repo/src/clustering/differentiation.cc" "CMakeFiles/rmi.dir/src/clustering/differentiation.cc.o" "gcc" "CMakeFiles/rmi.dir/src/clustering/differentiation.cc.o.d"
+  "/root/repo/src/clustering/kmeans.cc" "CMakeFiles/rmi.dir/src/clustering/kmeans.cc.o" "gcc" "CMakeFiles/rmi.dir/src/clustering/kmeans.cc.o.d"
+  "/root/repo/src/clustering/strategies.cc" "CMakeFiles/rmi.dir/src/clustering/strategies.cc.o" "gcc" "CMakeFiles/rmi.dir/src/clustering/strategies.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/rmi.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/rmi.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/rmi.dir/src/common/table.cc.o" "gcc" "CMakeFiles/rmi.dir/src/common/table.cc.o.d"
+  "/root/repo/src/eval/factories.cc" "CMakeFiles/rmi.dir/src/eval/factories.cc.o" "gcc" "CMakeFiles/rmi.dir/src/eval/factories.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "CMakeFiles/rmi.dir/src/eval/metrics.cc.o" "gcc" "CMakeFiles/rmi.dir/src/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/pipeline.cc" "CMakeFiles/rmi.dir/src/eval/pipeline.cc.o" "gcc" "CMakeFiles/rmi.dir/src/eval/pipeline.cc.o.d"
+  "/root/repo/src/geometry/geometry.cc" "CMakeFiles/rmi.dir/src/geometry/geometry.cc.o" "gcc" "CMakeFiles/rmi.dir/src/geometry/geometry.cc.o.d"
+  "/root/repo/src/imputers/autocorrelation.cc" "CMakeFiles/rmi.dir/src/imputers/autocorrelation.cc.o" "gcc" "CMakeFiles/rmi.dir/src/imputers/autocorrelation.cc.o.d"
+  "/root/repo/src/imputers/imputer.cc" "CMakeFiles/rmi.dir/src/imputers/imputer.cc.o" "gcc" "CMakeFiles/rmi.dir/src/imputers/imputer.cc.o.d"
+  "/root/repo/src/imputers/neural.cc" "CMakeFiles/rmi.dir/src/imputers/neural.cc.o" "gcc" "CMakeFiles/rmi.dir/src/imputers/neural.cc.o.d"
+  "/root/repo/src/imputers/traditional.cc" "CMakeFiles/rmi.dir/src/imputers/traditional.cc.o" "gcc" "CMakeFiles/rmi.dir/src/imputers/traditional.cc.o.d"
+  "/root/repo/src/indoor/ascii_map.cc" "CMakeFiles/rmi.dir/src/indoor/ascii_map.cc.o" "gcc" "CMakeFiles/rmi.dir/src/indoor/ascii_map.cc.o.d"
+  "/root/repo/src/indoor/venue.cc" "CMakeFiles/rmi.dir/src/indoor/venue.cc.o" "gcc" "CMakeFiles/rmi.dir/src/indoor/venue.cc.o.d"
+  "/root/repo/src/la/kernels.cc" "CMakeFiles/rmi.dir/src/la/kernels.cc.o" "gcc" "CMakeFiles/rmi.dir/src/la/kernels.cc.o.d"
+  "/root/repo/src/la/matrix.cc" "CMakeFiles/rmi.dir/src/la/matrix.cc.o" "gcc" "CMakeFiles/rmi.dir/src/la/matrix.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "CMakeFiles/rmi.dir/src/nn/layers.cc.o" "gcc" "CMakeFiles/rmi.dir/src/nn/layers.cc.o.d"
+  "/root/repo/src/positioning/estimators.cc" "CMakeFiles/rmi.dir/src/positioning/estimators.cc.o" "gcc" "CMakeFiles/rmi.dir/src/positioning/estimators.cc.o.d"
+  "/root/repo/src/radio/propagation.cc" "CMakeFiles/rmi.dir/src/radio/propagation.cc.o" "gcc" "CMakeFiles/rmi.dir/src/radio/propagation.cc.o.d"
+  "/root/repo/src/radiomap/io.cc" "CMakeFiles/rmi.dir/src/radiomap/io.cc.o" "gcc" "CMakeFiles/rmi.dir/src/radiomap/io.cc.o.d"
+  "/root/repo/src/radiomap/radio_map.cc" "CMakeFiles/rmi.dir/src/radiomap/radio_map.cc.o" "gcc" "CMakeFiles/rmi.dir/src/radiomap/radio_map.cc.o.d"
+  "/root/repo/src/survey/survey.cc" "CMakeFiles/rmi.dir/src/survey/survey.cc.o" "gcc" "CMakeFiles/rmi.dir/src/survey/survey.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_test.dir/tests/survey_test.cc.o"
+  "CMakeFiles/survey_test.dir/tests/survey_test.cc.o.d"
+  "survey_test"
+  "survey_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threading_determinism_test.dir/tests/threading_determinism_test.cc.o"
+  "CMakeFiles/threading_determinism_test.dir/tests/threading_determinism_test.cc.o.d"
+  "threading_determinism_test"
+  "threading_determinism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threading_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
