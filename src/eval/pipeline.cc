@@ -1,5 +1,6 @@
 #include "eval/pipeline.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -85,14 +86,17 @@ std::vector<PipelineResult> RunPipelineMultiEstimators(
   RMI_CHECK(!training.empty());
 
   // C: each estimator evaluated on the identical imputed split. Query
-  // fingerprints are assembled once; the (read-only) location queries then
-  // fan out over a pool — results land in pre-sized slots, so the output
+  // fingerprints are assembled once into a query matrix; contiguous row
+  // chunks then fan out over a pool, each chunk answered by the estimator's
+  // batched path (one Gemm per chunk for the KNN family, bit-identical to
+  // per-record Estimate) — results land in pre-sized slots, so the output
   // is independent of scheduling.
-  std::vector<std::vector<double>> fingerprints;
+  const size_t num_queries = test_indices.size();
+  la::Matrix queries(num_queries, imputed.num_aps());
   std::vector<geom::Point> truths;
-  fingerprints.reserve(test_indices.size());
-  truths.reserve(test_indices.size());
-  for (size_t i : test_indices) {
+  truths.reserve(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const size_t i = test_indices[q];
     const size_t id = map.record(i).id;
     std::vector<double> fingerprint;
     auto it = imputed_by_id.find(id);
@@ -106,19 +110,28 @@ std::vector<PipelineResult> RunPipelineMultiEstimators(
         if (IsNull(v)) v = kMnarFillDbm;
       }
     }
-    fingerprints.push_back(std::move(fingerprint));
+    RMI_CHECK_EQ(fingerprint.size(), queries.cols());
+    std::copy(fingerprint.begin(), fingerprint.end(),
+              queries.data().begin() + static_cast<long>(q * queries.cols()));
     truths.push_back(truth_by_id.at(id));
   }
 
   ThreadPool pool(std::min(ThreadPool::DefaultThreads(),
-                           std::max<size_t>(1, fingerprints.size())));
+                           std::max<size_t>(1, num_queries)));
+  const size_t num_chunks = pool.num_threads();
   std::vector<PipelineResult> results;
   for (positioning::LocationEstimator* estimator : estimators) {
     RMI_CHECK(estimator != nullptr);
     estimator->Fit(training, rng);
-    std::vector<geom::Point> estimates(fingerprints.size());
-    pool.ParallelFor(fingerprints.size(), [&](size_t /*worker*/, size_t q) {
-      estimates[q] = estimator->Estimate(fingerprints[q]);
+    std::vector<geom::Point> estimates(num_queries);
+    pool.ParallelFor(num_chunks, [&](size_t /*worker*/, size_t chunk) {
+      const size_t lo = chunk * num_queries / num_chunks;
+      const size_t hi = (chunk + 1) * num_queries / num_chunks;
+      if (lo == hi) return;
+      const std::vector<geom::Point> block =
+          estimator->EstimateBatch(queries.SliceRows(lo, hi));
+      std::copy(block.begin(), block.end(),
+                estimates.begin() + static_cast<long>(lo));
     });
     PipelineResult r = result;
     r.ape = AveragePositioningError(estimates, truths);

@@ -6,63 +6,211 @@
 
 #include "common/check.h"
 #include "common/missing.h"
+#include "la/kernels.h"
 
 namespace rmi::positioning {
 
 namespace {
 
-/// Extracts complete feature vectors + RP labels from an imputed map.
+/// ExtractLabeledRows reshaped into the vector-of-rows form the random
+/// forest's split search indexes by.
 void ExtractTrainingData(const rmap::RadioMap& map,
                          std::vector<std::vector<double>>* features,
                          std::vector<geom::Point>* labels) {
-  features->clear();
-  labels->clear();
-  for (size_t i = 0; i < map.size(); ++i) {
-    const rmap::Record& r = map.record(i);
-    if (!r.has_rp) continue;  // estimators need labeled rows
-    for (double v : r.rssi) RMI_CHECK(!IsNull(v));
-    features->push_back(r.rssi);
-    labels->push_back(r.rp);
+  la::Matrix fingerprints;
+  ExtractLabeledRows(map, &fingerprints, labels);
+  features->assign(fingerprints.rows(),
+                   std::vector<double>(fingerprints.cols()));
+  for (size_t i = 0; i < fingerprints.rows(); ++i) {
+    const double* row = fingerprints.data().data() + i * fingerprints.cols();
+    std::copy(row, row + fingerprints.cols(), (*features)[i].begin());
   }
 }
 
-double SquaredDistance(const std::vector<double>& a,
-                       const std::vector<double>& b) {
-  double s = 0.0;
-  for (size_t j = 0; j < a.size(); ++j) {
-    const double d = a[j] - b[j];
-    s += d * d;
+bool HasNull(const double* v, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    if (IsNull(v[j])) return true;
   }
-  return s;
+  return false;
+}
+
+bool HasObserved(const double* v, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    if (!IsNull(v[j])) return true;
+  }
+  return false;
 }
 
 }  // namespace
 
-void KnnEstimator::Fit(const rmap::RadioMap& map, Rng&) {
-  ExtractTrainingData(map, &features_, &labels_);
-  RMI_CHECK(!features_.empty());
+void ExtractLabeledRows(const rmap::RadioMap& map, la::Matrix* fingerprints,
+                        std::vector<geom::Point>* labels) {
+  labels->clear();
+  const size_t d = map.num_aps();
+  size_t num_labeled = 0;
+  for (size_t i = 0; i < map.size(); ++i) {
+    num_labeled += map.record(i).has_rp;
+  }
+  RMI_CHECK_GT(num_labeled, 0u);
+  fingerprints->Reshape(num_labeled, d);
+  labels->reserve(num_labeled);
+  size_t row = 0;
+  for (size_t i = 0; i < map.size(); ++i) {
+    const rmap::Record& r = map.record(i);
+    if (!r.has_rp) continue;  // estimators need labeled rows
+    RMI_CHECK_EQ(r.rssi.size(), d);
+    for (double v : r.rssi) RMI_CHECK(!IsNull(v));
+    std::copy(r.rssi.begin(), r.rssi.end(),
+              fingerprints->data().begin() + static_cast<long>(row * d));
+    labels->push_back(r.rp);
+    ++row;
+  }
 }
 
-geom::Point KnnEstimator::Estimate(
-    const std::vector<double>& fingerprint) const {
-  RMI_CHECK(!features_.empty());
-  RMI_CHECK_EQ(fingerprint.size(), features_[0].size());
-  std::vector<std::pair<double, size_t>> dist;
-  dist.reserve(features_.size());
-  for (size_t i = 0; i < features_.size(); ++i) {
-    dist.emplace_back(SquaredDistance(fingerprint, features_[i]), i);
+std::vector<geom::Point> LocationEstimator::EstimateBatch(
+    const la::Matrix& fingerprints) const {
+  std::vector<geom::Point> out(fingerprints.rows());
+  std::vector<double> row(fingerprints.cols());
+  for (size_t i = 0; i < fingerprints.rows(); ++i) {
+    const double* src = fingerprints.data().data() + i * fingerprints.cols();
+    std::copy(src, src + fingerprints.cols(), row.begin());
+    out[i] = Estimate(row);
   }
-  const size_t take = std::min(k_, dist.size());
-  std::partial_sort(dist.begin(), dist.begin() + take, dist.end());
+  return out;
+}
+
+void KnnEstimator::Fit(const rmap::RadioMap& map, Rng&) {
+  ExtractLabeledRows(map, &features_mat_, &labels_);
+  features_t_ = features_mat_.Transpose();
+  la::CwiseUnaryInto(features_t_, &features_sq_t_,
+                     [](double v) { return v * v; });
+  la::RowSquaredNorms(features_mat_, &feature_norms_);
+}
+
+geom::Point KnnEstimator::EstimateFromCandidates(
+    std::vector<std::pair<double, size_t>> candidates) const {
+  RMI_CHECK(!candidates.empty());
+  const size_t take = std::min(k_, candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + take,
+                    candidates.end());
   geom::Point acc;
   double wsum = 0.0;
   for (size_t t = 0; t < take; ++t) {
     const double w =
-        weighted_ ? 1.0 / (std::sqrt(dist[t].first) + 1e-6) : 1.0;
-    acc = acc + labels_[dist[t].second] * w;
+        weighted_ ? 1.0 / (std::sqrt(candidates[t].first) + 1e-6) : 1.0;
+    acc = acc + labels_[candidates[t].second] * w;
     wsum += w;
   }
   return acc * (1.0 / wsum);
+}
+
+geom::Point KnnEstimator::Estimate(
+    const std::vector<double>& fingerprint) const {
+  RMI_CHECK(!labels_.empty());
+  RMI_CHECK_EQ(fingerprint.size(), features_mat_.cols());
+  RMI_CHECK(HasObserved(fingerprint.data(), fingerprint.size()));
+  std::vector<std::pair<double, size_t>> dist;
+  dist.reserve(labels_.size());
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    dist.emplace_back(la::QuerySquaredDistance(fingerprint.data(),
+                                               features_mat_, i),
+                      i);
+  }
+  return EstimateFromCandidates(std::move(dist));
+}
+
+std::vector<geom::Point> KnnEstimator::EstimateBatch(
+    const la::Matrix& fingerprints) const {
+  RMI_CHECK(!labels_.empty());
+  const size_t b = fingerprints.rows();
+  if (b == 0) return {};
+  const size_t d = features_mat_.cols();
+  const size_t r = labels_.size();
+  RMI_CHECK_EQ(fingerprints.cols(), d);
+
+  // Which rows are partial? The masked path needs two extra operands
+  // (null-zeroed queries and the 0/1 observation mask) and a second Gemm.
+  std::vector<uint8_t> partial(b, 0);
+  bool any_partial = false;
+  for (size_t i = 0; i < b; ++i) {
+    const double* row = fingerprints.data().data() + i * d;
+    RMI_CHECK(HasObserved(row, d));
+    partial[i] = HasNull(row, d);
+    any_partial |= partial[i] != 0;
+  }
+
+  // Cross term: one Gemm computes every query.reference dot product. With
+  // partial rows, nulls contribute 0 — exactly the masked cross term.
+  la::Matrix cross;  // b x r
+  la::Matrix zeroed, mask, masked_norms;
+  const la::Matrix* queries = &fingerprints;
+  if (any_partial) {
+    la::CwiseUnaryInto(fingerprints, &zeroed,
+                       [](double v) { return IsNull(v) ? 0.0 : v; });
+    la::CwiseUnaryInto(fingerprints, &mask,
+                       [](double v) { return IsNull(v) ? 0.0 : 1.0; });
+    queries = &zeroed;
+    // Masked reference norms: sum_j m_ij * f_kj^2 = (M x (F o F)^T)_ik.
+    la::GemmFastNN(mask, features_sq_t_, &masked_norms);
+  }
+  // Relaxed-rounding ranking Gemm: key drift (~1 ulp/term) is far inside
+  // the selection margin below, and candidates are re-scored exactly.
+  la::GemmFastNN(*queries, features_t_, &cross);
+
+  // Per row: rank by (reference norm - 2 cross) — the query norm is
+  // constant within a row — then re-score the top candidates exactly so the
+  // result matches the scalar path bit-for-bit. The expanded form carries
+  // cancellation error ~1e-10 relative on dBm-scale norms, so the rescore
+  // takes every reference within a margin far above that error of the
+  // c-th-smallest key: Gemm rounding can never evict a true top-k neighbor.
+  //
+  // Selection is two streaming passes (a c-element sorted buffer finds the
+  // threshold, then a gather) — no per-row (key, index) array and no
+  // nth_element over all references, which would cost more than the Gemm.
+  const size_t num_candidates = std::min(r, k_ + std::max<size_t>(k_, 8));
+  std::vector<geom::Point> out(b);
+  std::vector<double> keys(r);
+  std::vector<double> best(num_candidates);
+  std::vector<std::pair<double, size_t>> exact;
+  for (size_t i = 0; i < b; ++i) {
+    const double* crow = cross.data().data() + i * r;
+    const double* norms = partial[i] ? masked_norms.data().data() + i * r
+                                     : feature_norms_.data().data();
+    size_t filled = 0;
+    for (size_t j = 0; j < r; ++j) {
+      const double key = norms[j] - 2.0 * crow[j];
+      keys[j] = key;
+      if (filled < num_candidates) {
+        const auto it =
+            std::upper_bound(best.begin(),
+                             best.begin() + static_cast<long>(filled), key);
+        std::copy_backward(it, best.begin() + static_cast<long>(filled),
+                           best.begin() + static_cast<long>(filled) + 1);
+        *it = key;
+        ++filled;
+      } else if (key < best[filled - 1]) {
+        const auto it =
+            std::upper_bound(best.begin(),
+                             best.begin() + static_cast<long>(filled) - 1,
+                             key);
+        std::copy_backward(it, best.begin() + static_cast<long>(filled) - 1,
+                           best.begin() + static_cast<long>(filled));
+        *it = key;
+      }
+    }
+    const double boundary = best[filled - 1];
+    const double threshold = boundary + 1e-6 * (1.0 + std::fabs(boundary));
+    const double* src = fingerprints.data().data() + i * d;
+    exact.clear();
+    for (size_t j = 0; j < r; ++j) {
+      if (keys[j] <= threshold) {
+        exact.emplace_back(la::QuerySquaredDistance(src, features_mat_, j),
+                           j);
+      }
+    }
+    out[i] = EstimateFromCandidates(exact);
+  }
+  return out;
 }
 
 void RandomForestEstimator::Fit(const rmap::RadioMap& map, Rng& rng) {

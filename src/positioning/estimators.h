@@ -3,20 +3,33 @@
 //  * WKNN [19] — inverse-distance-weighted mean;
 //  * RF   [28] — random-forest regression from fingerprint to (x, y).
 //
-// Estimators consume a *complete* radio map (the imputers' output contract)
-// and complete online fingerprints.
+// Estimators consume a *complete* radio map (the imputers' output contract).
+// Online fingerprints may carry kNull entries (a device rarely hears every
+// AP): KNN/WKNN measure distance over the observed dimensions only, and are
+// bit-identical to the historical all-dimensions path when the fingerprint
+// is complete.
 #ifndef RMI_POSITIONING_ESTIMATORS_H_
 #define RMI_POSITIONING_ESTIMATORS_H_
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "geometry/geometry.h"
+#include "la/matrix.h"
 #include "radiomap/radio_map.h"
 
 namespace rmi::positioning {
+
+/// Extracts the labeled (has_rp) rows of an imputed map, in map order:
+/// fingerprints as an R x D matrix plus index-aligned RP labels. Every row
+/// must be complete (asserted). The single extraction rule shared by
+/// estimator fitting and the serving layer's snapshots — their row indices
+/// must agree.
+void ExtractLabeledRows(const rmap::RadioMap& map, la::Matrix* fingerprints,
+                        std::vector<geom::Point>* labels);
 
 class LocationEstimator {
  public:
@@ -25,8 +38,22 @@ class LocationEstimator {
   /// Builds the estimator from an imputed radio map.
   virtual void Fit(const rmap::RadioMap& map, Rng& rng) = 0;
 
-  /// Estimates the location of one online fingerprint (length D, complete).
+  /// Estimates the location of one online fingerprint (length D; kNull
+  /// entries allowed where the estimator supports partial fingerprints).
   virtual geom::Point Estimate(const std::vector<double>& fingerprint) const = 0;
+
+  /// Estimates every row of `fingerprints` (B x D) in one call — the
+  /// serving hot path. The base implementation is the scalar loop over
+  /// Estimate; KnnEstimator overrides it with a single-Gemm distance pass.
+  /// Must be thread-safe on a fitted estimator (const, no shared scratch).
+  virtual std::vector<geom::Point> EstimateBatch(
+      const la::Matrix& fingerprints) const;
+
+  /// Whether Estimate/EstimateBatch accept fingerprints with kNull entries.
+  /// False by default: a NaN silently mis-compares in tree/threshold logic,
+  /// so callers (e.g. the serving layer) must reject partial scans for
+  /// estimators that don't opt in.
+  virtual bool SupportsPartialFingerprints() const { return false; }
 
   virtual std::string name() const = 0;
 
@@ -42,17 +69,53 @@ class KnnEstimator : public LocationEstimator {
       : k_(k), weighted_(weighted) {}
 
   void Fit(const rmap::RadioMap& map, Rng& rng) override;
+  /// Fingerprints must observe at least one AP (asserted): an all-null
+  /// scan has no distance signal and would silently decay to the first k
+  /// reference rows.
   geom::Point Estimate(const std::vector<double>& fingerprint) const override;
+  /// Batched KNN: all query-to-reference distances in one Gemm via
+  /// ||q - f||^2 = ||q||^2 + ||f||^2 - 2 q.f (a masked variant covers
+  /// partial fingerprints: the cross term zeroes nulls, the reference-norm
+  /// term becomes mask x (F o F)^T — a second Gemm). The Gemm pass only
+  /// *ranks*; the top candidates — plus every reference within an error
+  /// margin above the selection boundary, so Gemm rounding can never evict
+  /// a true neighbor — are re-scored with the exact scalar distance, and
+  /// results match per-record Estimate bit-for-bit.
+  std::vector<geom::Point> EstimateBatch(
+      const la::Matrix& fingerprints) const override;
+  /// Distances over observed dimensions only — partial scans are native.
+  bool SupportsPartialFingerprints() const override { return true; }
   std::string name() const override { return weighted_ ? "WKNN" : "KNN"; }
   std::unique_ptr<LocationEstimator> Clone() const override {
     return std::make_unique<KnnEstimator>(*this);
   }
 
+  size_t k() const { return k_; }
+  bool weighted() const { return weighted_; }
+  /// Fitted reference fingerprints as an R x D matrix (row r aligned with
+  /// labels()[r]) — the serving layer builds its snapshot views from these.
+  const la::Matrix& features() const { return features_mat_; }
+  const std::vector<geom::Point>& labels() const { return labels_; }
+
+  /// Serving hook: combines externally produced exact KNN candidates
+  /// (squared distance to a features() row, row index) into a location with
+  /// this estimator's k/weighting. Equals Estimate() whenever `candidates`
+  /// is a superset of the true top-k by (distance, index) order.
+  geom::Point EstimateFromCandidates(
+      std::vector<std::pair<double, size_t>> candidates) const;
+
  private:
   size_t k_;
   bool weighted_;
-  std::vector<std::vector<double>> features_;
   std::vector<geom::Point> labels_;
+  /// Fitted reference state. The transposed copies let the batched path
+  /// run its two Gemms through the no-transpose kernel (cache-blocked and
+  /// auto-vectorizable — the A*B^T row-dot variant is a serial reduction);
+  /// accumulation order is identical, so keys don't change.
+  la::Matrix features_mat_;    ///< R x D
+  la::Matrix features_t_;      ///< D x R
+  la::Matrix features_sq_t_;   ///< D x R, elementwise squared
+  la::Matrix feature_norms_;   ///< R x 1 row norms
 };
 
 /// Random-forest regression (CART trees, bagging, feature subsampling,

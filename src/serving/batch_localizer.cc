@@ -1,0 +1,44 @@
+#include "serving/batch_localizer.h"
+
+#include "common/check.h"
+#include "common/missing.h"
+
+namespace rmi::serving {
+
+geom::Point BatchLocalizer::Localize(
+    const std::vector<double>& fingerprint) const {
+  const std::shared_ptr<const MapSnapshot> snap = store_->Current();
+  RMI_CHECK(snap != nullptr);
+  RMI_CHECK_EQ(fingerprint.size(), snap->num_aps());
+  // Same contract as Estimate/EstimateBatch: an all-null scan has no
+  // distance signal (every masked distance is 0) and must not silently
+  // decay to the first k reference rows; and a partial scan is only legal
+  // for estimators that opt in (NaN mis-compares in tree traversal).
+  size_t observed = 0;
+  for (double v : fingerprint) observed += !IsNull(v);
+  RMI_CHECK_GT(observed, 0u);
+  RMI_CHECK(snap->estimator->SupportsPartialFingerprints() ||
+            observed == fingerprint.size());
+  if (const auto* knn = dynamic_cast<const positioning::KnnEstimator*>(
+          snap->estimator.get())) {
+    std::vector<Neighbor> candidates =
+        snap->index.Search(snap->fingerprints(), fingerprint, knn->k());
+    return knn->EstimateFromCandidates(std::move(candidates));
+  }
+  return snap->estimator->Estimate(fingerprint);
+}
+
+std::vector<geom::Point> BatchLocalizer::LocalizeBatch(
+    const la::Matrix& fingerprints) const {
+  const std::shared_ptr<const MapSnapshot> snap = store_->Current();
+  RMI_CHECK(snap != nullptr);
+  return LocalizeBatchOn(*snap, fingerprints);
+}
+
+std::vector<geom::Point> BatchLocalizer::LocalizeBatchOn(
+    const MapSnapshot& snapshot, const la::Matrix& fingerprints) {
+  RMI_CHECK_EQ(fingerprints.cols(), snapshot.num_aps());
+  return snapshot.estimator->EstimateBatch(fingerprints);
+}
+
+}  // namespace rmi::serving

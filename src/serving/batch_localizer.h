@@ -1,0 +1,55 @@
+// Query execution against the current snapshot.
+//
+// Two paths, both exact:
+//  * LocalizeBatch — the throughput path. All rows of a coalesced batch go
+//    through the estimator's EstimateBatch; for the KNN family that is one
+//    Gemm over the whole reference matrix (plus a masked second Gemm when
+//    rows carry kNull), then an exact rescore of the top candidates.
+//  * Localize — the latency path for a single query. For the KNN family the
+//    spatial index prunes reference rows via its triangle-inequality bound
+//    before the exact pass; other estimators fall back to Estimate.
+//
+// Every entry point grabs the snapshot once and uses it for the whole
+// request, so a concurrent hot-swap cannot mix two serving states inside
+// one query.
+#ifndef RMI_SERVING_BATCH_LOCALIZER_H_
+#define RMI_SERVING_BATCH_LOCALIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "geometry/geometry.h"
+#include "la/matrix.h"
+#include "serving/snapshot.h"
+
+namespace rmi::serving {
+
+class BatchLocalizer {
+ public:
+  /// `store` must outlive the localizer.
+  explicit BatchLocalizer(const MapSnapshotStore* store) : store_(store) {}
+
+  /// One fingerprint (kNull entries allowed) -> location. KNN family:
+  /// spatial-index pruned exact KNN; others: scalar Estimate.
+  geom::Point Localize(const std::vector<double>& fingerprint) const;
+
+  /// B x D batch -> B locations via the estimator's batched path. All rows
+  /// are answered from one snapshot.
+  std::vector<geom::Point> LocalizeBatch(const la::Matrix& fingerprints) const;
+
+  /// Same as LocalizeBatch but against an explicitly pinned snapshot (the
+  /// server pins once per coalesced batch).
+  static std::vector<geom::Point> LocalizeBatchOn(
+      const MapSnapshot& snapshot, const la::Matrix& fingerprints);
+
+  std::shared_ptr<const MapSnapshot> snapshot() const {
+    return store_->Current();
+  }
+
+ private:
+  const MapSnapshotStore* store_;
+};
+
+}  // namespace rmi::serving
+
+#endif  // RMI_SERVING_BATCH_LOCALIZER_H_

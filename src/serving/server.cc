@@ -1,0 +1,177 @@
+#include "serving/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+#include "common/missing.h"
+#include "common/stats.h"
+
+namespace rmi::serving {
+
+LocalizationServer::LocalizationServer(const MapSnapshotStore* store,
+                                       const ServerOptions& options)
+    : store_(store),
+      options_(options),
+      pool_(std::max<size_t>(1, options.num_workers)) {
+  RMI_CHECK(store_ != nullptr);
+  RMI_CHECK_GT(options_.max_batch, 0u);
+  // The launcher owns the pool fan-out: ParallelFor(num_workers) hands each
+  // pool worker exactly one DispatchLoop index and blocks (as worker 0, in
+  // its own loop) until shutdown drains them all.
+  launcher_ = std::thread([this] {
+    pool_.ParallelFor(pool_.num_threads(),
+                      [this](size_t /*worker*/, size_t /*index*/) {
+                        DispatchLoop();
+                      });
+  });
+}
+
+LocalizationServer::~LocalizationServer() { Stop(); }
+
+std::future<geom::Point> LocalizationServer::Submit(
+    std::vector<double> fingerprint) {
+  Request request;
+  request.fingerprint = std::move(fingerprint);
+  std::future<geom::Point> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      // A Submit racing a Stop is a benign shutdown condition, not a
+      // programming error: reject just this request.
+      request.promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("LocalizationServer is stopped")));
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++rejected_;
+      return future;
+    }
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void LocalizationServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (launcher_.joinable()) launcher_.join();
+}
+
+void LocalizationServer::DispatchLoop() {
+  std::vector<Request> batch;
+  while (true) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and fully drained
+      if (queue_.size() < options_.max_batch && !shutdown_) {
+        // Coalescing window: trade a bounded latency bump for fuller
+        // batches (more rows per Gemm).
+        cv_.wait_for(
+            lock,
+            std::chrono::duration<double, std::micro>(options_.max_wait_us),
+            [this] {
+              return shutdown_ || queue_.size() >= options_.max_batch;
+            });
+      }
+      const size_t take = std::min(options_.max_batch, queue_.size());
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (!batch.empty()) ProcessBatch(&batch);
+  }
+}
+
+void LocalizationServer::ProcessBatch(std::vector<Request>* batch) {
+  // Pin one snapshot for the whole batch — a hot-swap mid-batch must never
+  // mix two serving states.
+  const std::shared_ptr<const MapSnapshot> snap = store_->Current();
+  RMI_CHECK(snap != nullptr);
+  const size_t d = snap->num_aps();
+
+  // Per-request validation: a malformed scan — wrong width (e.g. sized for
+  // a pre-hot-swap snapshot) or all-null (no distance signal) — is
+  // rejected through its promise; it must never abort the server.
+  const bool partial_ok = snap->estimator->SupportsPartialFingerprints();
+  std::vector<size_t> valid;
+  valid.reserve(batch->size());
+  size_t num_rejected = 0;
+  for (size_t i = 0; i < batch->size(); ++i) {
+    Request& r = (*batch)[i];
+    size_t observed = 0;
+    for (double v : r.fingerprint) observed += !IsNull(v);
+    const char* reason =
+        r.fingerprint.size() != d
+            ? "fingerprint width does not match the current snapshot"
+        : observed == 0 ? "fingerprint observes no AP"
+        : (!partial_ok && observed < d)
+            ? "snapshot estimator does not support partial fingerprints"
+            : nullptr;
+    if (reason != nullptr) {
+      r.promise.set_exception(
+          std::make_exception_ptr(std::runtime_error(reason)));
+      ++num_rejected;
+    } else {
+      valid.push_back(i);
+    }
+  }
+
+  std::vector<geom::Point> estimates;
+  if (!valid.empty()) {
+    la::Matrix queries(valid.size(), d);
+    for (size_t v = 0; v < valid.size(); ++v) {
+      const Request& r = (*batch)[valid[v]];
+      std::copy(r.fingerprint.begin(), r.fingerprint.end(),
+                queries.data().begin() + static_cast<long>(v * d));
+    }
+    estimates = BatchLocalizer::LocalizeBatchOn(*snap, queries);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    latencies_us_.resize(std::min(kLatencyWindow,
+                                  latencies_us_.size() + valid.size()));
+    for (size_t i : valid) {
+      latencies_us_[latency_next_] = (*batch)[i].enqueued.ElapsedSeconds() * 1e6;
+      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+    }
+    completed_ += valid.size();
+    rejected_ += num_rejected;
+    ++batches_;
+    batched_requests_ += batch->size();
+  }
+  for (size_t v = 0; v < valid.size(); ++v) {
+    (*batch)[valid[v]].promise.set_value(estimates[v]);
+  }
+}
+
+ServerStats LocalizationServer::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ServerStats s;
+  s.completed = completed_;
+  s.rejected = rejected_;
+  s.batches = batches_;
+  s.mean_batch_size =
+      batches_ == 0 ? 0.0
+                    : static_cast<double>(batched_requests_) /
+                          static_cast<double>(batches_);
+  if (!latencies_us_.empty()) {
+    s.p50_latency_us = Percentile(latencies_us_, 50.0);
+    s.p95_latency_us = Percentile(latencies_us_, 95.0);
+    s.p99_latency_us = Percentile(latencies_us_, 99.0);
+  }
+  const double uptime = uptime_.ElapsedSeconds();
+  s.qps = uptime > 0.0 ? static_cast<double>(s.completed) / uptime : 0.0;
+  return s;
+}
+
+}  // namespace rmi::serving

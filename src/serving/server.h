@@ -1,0 +1,119 @@
+// The online localization front end: a concurrent request queue whose
+// dispatcher workers coalesce queued fingerprints into batches, pin one
+// snapshot per batch, and answer every row with a single batched estimator
+// pass (one Gemm for the KNN family).
+//
+// Threading: Submit is called from any number of client threads; the
+// dispatch loops run as one ParallelFor of `num_workers` indices on a
+// common/thread_pool.h pool (worker 0 of that pool is a dedicated launcher
+// thread, so Submit never blocks on dispatch work). Each loop sleeps on the
+// queue condition variable, takes up to max_batch requests — waiting at
+// most max_wait_us for stragglers to coalesce — and fulfills the requests'
+// promises. Per-request latency (enqueue -> fulfill) feeds the p50/p95/p99
+// stats.
+#ifndef RMI_SERVING_SERVER_H_
+#define RMI_SERVING_SERVER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "geometry/geometry.h"
+#include "serving/batch_localizer.h"
+#include "serving/snapshot.h"
+
+namespace rmi::serving {
+
+struct ServerOptions {
+  /// Largest coalesced batch per dispatch.
+  size_t max_batch = 64;
+  /// How long a dispatcher waits for more arrivals before running a
+  /// partial batch, microseconds.
+  double max_wait_us = 200.0;
+  /// Dispatcher loops (each runs whole batches; >1 overlaps Gemm time of
+  /// one batch with queueing of the next).
+  size_t num_workers = 2;
+};
+
+struct ServerStats {
+  size_t completed = 0;        ///< requests answered
+  size_t rejected = 0;         ///< malformed requests refused via exception
+  size_t batches = 0;          ///< dispatches executed
+  double mean_batch_size = 0.0;
+  /// Percentiles over the most recent latency window (bounded memory).
+  double p50_latency_us = 0.0;
+  double p95_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double qps = 0.0;            ///< completed / uptime
+};
+
+class LocalizationServer {
+ public:
+  /// `store` must outlive the server and hold a published snapshot before
+  /// the first request is dispatched.
+  explicit LocalizationServer(const MapSnapshotStore* store,
+                              const ServerOptions& options = {});
+  ~LocalizationServer();
+
+  LocalizationServer(const LocalizationServer&) = delete;
+  LocalizationServer& operator=(const LocalizationServer&) = delete;
+
+  /// Enqueues one fingerprint; the future resolves when its batch is
+  /// answered. After Stop, the returned future holds a std::runtime_error
+  /// instead (a Submit racing shutdown is rejected, never a crash).
+  std::future<geom::Point> Submit(std::vector<double> fingerprint);
+
+  /// Synchronous convenience wrapper around Submit.
+  geom::Point Localize(std::vector<double> fingerprint) {
+    return Submit(std::move(fingerprint)).get();
+  }
+
+  /// Drains the queue and joins the dispatch loops. Idempotent; the
+  /// destructor calls it.
+  void Stop();
+
+  ServerStats Stats() const;
+
+ private:
+  struct Request {
+    std::vector<double> fingerprint;
+    std::promise<geom::Point> promise;
+    Timer enqueued;  ///< starts at Submit; read when the promise resolves
+  };
+
+  void DispatchLoop();
+  void ProcessBatch(std::vector<Request>* batch);
+
+  const MapSnapshotStore* store_;
+  const ServerOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool shutdown_ = false;
+
+  /// Latency samples are kept in a fixed-size ring (a long-lived server
+  /// must not grow per-request state without bound); counters are totals.
+  static constexpr size_t kLatencyWindow = 1 << 14;
+  mutable std::mutex stats_mu_;
+  std::vector<double> latencies_us_;  ///< ring buffer, kLatencyWindow cap
+  size_t latency_next_ = 0;           ///< ring write position
+  size_t completed_ = 0;
+  size_t rejected_ = 0;
+  size_t batches_ = 0;
+  size_t batched_requests_ = 0;
+  Timer uptime_;
+
+  ThreadPool pool_;
+  std::thread launcher_;
+};
+
+}  // namespace rmi::serving
+
+#endif  // RMI_SERVING_SERVER_H_

@@ -1,0 +1,90 @@
+#include "serving/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "common/missing.h"
+
+namespace rmi::serving {
+
+namespace {
+
+/// splitmix64 — cheap, well-mixed combine for the integrity stamp.
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h += 0x9e3779b97f4a7c15ull + v;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+uint64_t MapSnapshot::ComputeChecksum() const {
+  const la::Matrix& refs = fingerprints();
+  uint64_t h = Mix(0x726d692d736e6170ull, version);
+  h = Mix(h, static_cast<uint64_t>(refs.rows()));
+  h = Mix(h, static_cast<uint64_t>(refs.cols()));
+  h = Mix(h, static_cast<uint64_t>(positions.size()));
+  h = Mix(h, static_cast<uint64_t>(index.num_cells()));
+  h = Mix(h, estimator == nullptr ? 0 : 1);
+  // Sample a few fingerprint cells so a swapped-out matrix is detected
+  // without hashing the whole map on every integrity check.
+  const size_t n = refs.size();
+  if (n > 0) {
+    const double* p = refs.data().data();
+    const size_t stride = std::max<size_t>(1, n / 16);
+    for (size_t i = 0; i < n; i += stride) {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(double), "double is 64-bit");
+      std::memcpy(&bits, &p[i], sizeof(bits));
+      h = Mix(h, bits);
+    }
+  }
+  return h;
+}
+
+std::shared_ptr<const MapSnapshot> BuildSnapshot(
+    const rmap::RadioMap& imputed_map,
+    std::unique_ptr<positioning::LocationEstimator> estimator, Rng& rng,
+    const SnapshotOptions& options) {
+  RMI_CHECK(estimator != nullptr);
+  RMI_CHECK(!imputed_map.empty());
+  auto snapshot = std::make_shared<MapSnapshot>();
+  snapshot->version = options.version;
+
+  estimator->Fit(imputed_map, rng);
+  snapshot->estimator = std::move(estimator);
+  if (const auto* knn = dynamic_cast<const positioning::KnnEstimator*>(
+          snapshot->estimator.get())) {
+    // KNN family: alias the fitted state itself — no second copy, and the
+    // index row ids line up with the estimator's candidate indices by
+    // construction.
+    snapshot->fingerprint_view = &knn->features();
+    snapshot->positions = knn->labels();
+  } else {
+    // The one shared extraction rule (labeled rows, map order).
+    positioning::ExtractLabeledRows(imputed_map, &snapshot->owned_fingerprints,
+                                    &snapshot->positions);
+    snapshot->fingerprint_view = &snapshot->owned_fingerprints;
+  }
+  snapshot->index.Build(snapshot->fingerprints(), snapshot->positions,
+                        options.cell_size_m);
+  snapshot->checksum = snapshot->ComputeChecksum();
+  return snapshot;
+}
+
+void MapSnapshotStore::Publish(std::shared_ptr<const MapSnapshot> snapshot) {
+  RMI_CHECK(snapshot != nullptr);
+  RMI_CHECK(snapshot->Consistent());
+  std::atomic_store_explicit(&current_, std::move(snapshot),
+                             std::memory_order_release);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const MapSnapshot> MapSnapshotStore::Current() const {
+  return std::atomic_load_explicit(&current_, std::memory_order_acquire);
+}
+
+}  // namespace rmi::serving

@@ -1,0 +1,106 @@
+// Immutable radio-map snapshots and the hot-swappable store behind the
+// online localization engine.
+//
+// Lifecycle: a background pipeline (re-survey -> differentiate -> impute ->
+// fit) produces a complete radio map, BuildSnapshot freezes it — fitted
+// estimator, reference fingerprint matrix, RP labels, spatial index — into
+// one immutable MapSnapshot, and MapSnapshotStore::Publish swaps it in
+// atomically. In-flight queries keep the shared_ptr they grabbed, so a
+// publish never blocks readers and a reader never observes a half-built
+// ("torn") snapshot; the old snapshot is freed when its last query drops
+// the reference.
+#ifndef RMI_SERVING_SNAPSHOT_H_
+#define RMI_SERVING_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "positioning/estimators.h"
+#include "radiomap/radio_map.h"
+#include "serving/spatial_index.h"
+
+namespace rmi::serving {
+
+/// One frozen serving state. Everything is fitted/derived at build time;
+/// nothing mutates after publication (queries run concurrently against it).
+struct MapSnapshot {
+  uint64_t version = 0;
+  /// Fitted location estimator (Estimate/EstimateBatch are const and
+  /// thread-safe).
+  std::unique_ptr<const positioning::LocationEstimator> estimator;
+  /// R x D reference fingerprints (complete rows, aligned with positions).
+  /// For the KNN family this *aliases* the fitted estimator's own matrix —
+  /// the estimator member owns it and lives as long as the snapshot — so a
+  /// snapshot adds no second copy of the reference data; for other
+  /// estimators owned_fingerprints holds the extraction.
+  const la::Matrix& fingerprints() const { return *fingerprint_view; }
+  const la::Matrix* fingerprint_view = nullptr;
+  la::Matrix owned_fingerprints;
+  std::vector<geom::Point> positions;
+  /// Location-grid pruning index over (fingerprints, positions).
+  SpatialIndex index;
+  /// Integrity stamp over the fields above, taken at build time. Torn
+  /// *reads* are precluded by the store's atomic shared_ptr protocol; the
+  /// stamp guards against a publisher bug — mutation between BuildSnapshot
+  /// and Publish (checked there) — and gives the hot-swap tests a concrete
+  /// completeness probe.
+  uint64_t checksum = 0;
+
+  uint64_t ComputeChecksum() const;
+  bool Consistent() const { return checksum == ComputeChecksum(); }
+
+  size_t num_refs() const { return positions.size(); }
+  size_t num_aps() const { return fingerprints().cols(); }
+};
+
+struct SnapshotOptions {
+  uint64_t version = 0;
+  /// Spatial-index grid pitch, meters.
+  double cell_size_m = 6.0;
+};
+
+/// Freezes `imputed_map` (complete, labeled rows) + a *not yet fitted*
+/// estimator into a snapshot: fits the estimator, extracts the reference
+/// matrix/labels (from the estimator itself for the KNN family, so the
+/// spatial index is guaranteed row-aligned with the fitted state), builds
+/// the index, stamps the checksum.
+std::shared_ptr<const MapSnapshot> BuildSnapshot(
+    const rmap::RadioMap& imputed_map,
+    std::unique_ptr<positioning::LocationEstimator> estimator, Rng& rng,
+    const SnapshotOptions& options = {});
+
+/// The hot-swap point. Publish/Current use the atomic shared_ptr protocol,
+/// so readers are wait-free with respect to publishers: a query thread
+/// either sees the old snapshot or the new one, both complete.
+class MapSnapshotStore {
+ public:
+  MapSnapshotStore() = default;
+  explicit MapSnapshotStore(std::shared_ptr<const MapSnapshot> initial) {
+    Publish(std::move(initial));
+  }
+
+  MapSnapshotStore(const MapSnapshotStore&) = delete;
+  MapSnapshotStore& operator=(const MapSnapshotStore&) = delete;
+
+  /// Atomically replaces the current snapshot. Never blocks readers.
+  void Publish(std::shared_ptr<const MapSnapshot> snapshot);
+
+  /// The current snapshot (nullptr before the first Publish). Callers keep
+  /// the returned shared_ptr for the whole request so a concurrent publish
+  /// cannot free the state under them.
+  std::shared_ptr<const MapSnapshot> Current() const;
+
+  uint64_t publish_count() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<const MapSnapshot> current_;
+  std::atomic<uint64_t> publishes_{0};
+};
+
+}  // namespace rmi::serving
+
+#endif  // RMI_SERVING_SNAPSHOT_H_

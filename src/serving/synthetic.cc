@@ -1,0 +1,62 @@
+#include "serving/synthetic.h"
+
+#include "common/missing.h"
+#include "common/rng.h"
+#include "geometry/geometry.h"
+
+namespace rmi::serving {
+
+rmap::RadioMap MakeSyntheticServingMap(size_t nx, size_t ny, size_t num_aps,
+                                       uint64_t seed) {
+  rmap::RadioMap map(num_aps);
+  std::vector<geom::Point> ap_pos;
+  for (size_t a = 0; a < num_aps; ++a) {
+    ap_pos.emplace_back(double((a * 7 + 1) % nx), double((a * 3 + 2) % ny));
+  }
+  Rng rng(seed);
+  for (size_t y = 0; y < ny; ++y) {
+    for (size_t x = 0; x < nx; ++x) {
+      rmap::Record r;
+      r.rssi.resize(num_aps);
+      const geom::Point pos{double(x), double(y)};
+      for (size_t a = 0; a < num_aps; ++a) {
+        const double d = geom::Distance(pos, ap_pos[a]);
+        r.rssi[a] = ClampRssi(-28.0 - 2.1 * d + rng.Uniform(-1.5, 1.5));
+      }
+      r.has_rp = true;
+      r.rp = pos;
+      r.time = double(y * nx + x);
+      r.path_id = y;
+      map.Add(r);
+    }
+  }
+  return map;
+}
+
+la::Matrix MakeSyntheticQueries(const rmap::RadioMap& map, size_t count,
+                                double null_fraction, uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix q(count, map.num_aps());
+  for (size_t i = 0; i < count; ++i) {
+    const rmap::Record& r = map.record(rng.Index(map.size()));
+    size_t observed = 0;
+    for (size_t j = 0; j < map.num_aps(); ++j) {
+      if (rng.Bernoulli(null_fraction)) {
+        q(i, j) = kNull;
+      } else {
+        q(i, j) = ClampRssi(r.rssi[j] + rng.Uniform(-2.0, 2.0));
+        ++observed;
+      }
+    }
+    if (observed == 0) q(i, 0) = ClampRssi(r.rssi[0]);  // never all-null
+  }
+  return q;
+}
+
+std::vector<double> MatrixRow(const la::Matrix& m, size_t i) {
+  std::vector<double> row(m.cols());
+  for (size_t j = 0; j < m.cols(); ++j) row[j] = m(i, j);
+  return row;
+}
+
+}  // namespace rmi::serving

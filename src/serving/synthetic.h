@@ -1,0 +1,34 @@
+// Synthetic serving workloads — the reference-map and query generators
+// shared by tests/serving_test.cc and bench/bench_serving_throughput.cc so
+// correctness checks and acceptance numbers run on the same distribution.
+#ifndef RMI_SERVING_SYNTHETIC_H_
+#define RMI_SERVING_SYNTHETIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+#include "radiomap/radio_map.h"
+
+namespace rmi::serving {
+
+/// Complete, fully labeled radio map: nx * ny reference points on a 1 m
+/// grid, distance-decay RSSIs from APs scattered deterministically over the
+/// floor, plus uniform jitter.
+rmap::RadioMap MakeSyntheticServingMap(size_t nx, size_t ny, size_t num_aps,
+                                       uint64_t seed);
+
+/// `count` online fingerprints drawn near random reference rows of `map`
+/// (RSSI jitter +-2 dBm); each cell is independently nulled with
+/// probability `null_fraction`. Rows are guaranteed to observe at least
+/// one AP.
+la::Matrix MakeSyntheticQueries(const rmap::RadioMap& map, size_t count,
+                                double null_fraction, uint64_t seed);
+
+/// Row `i` of `m` as a vector (the estimators' scalar-query shape).
+std::vector<double> MatrixRow(const la::Matrix& m, size_t i);
+
+}  // namespace rmi::serving
+
+#endif  // RMI_SERVING_SYNTHETIC_H_
