@@ -5,6 +5,16 @@
 
 namespace rmi::imputers {
 
+rmap::RadioMap Imputer::ImputeIncremental(
+    const rmap::RadioMap& merged, const rmap::MaskMatrix& amended_mask,
+    const rmap::RadioMap* previous_imputed, Rng& rng) const {
+  // Default: cold re-impute of the merged map. `previous_imputed` is the
+  // warm-start hook for backends with trainable state; the contract (and
+  // the equivalence test) is that ignoring it is always correct.
+  (void)previous_imputed;
+  return Impute(merged, amended_mask, rng);
+}
+
 size_t FillMnar(rmap::RadioMap* map, rmap::MaskMatrix* mask) {
   RMI_CHECK(map != nullptr);
   RMI_CHECK(mask != nullptr);

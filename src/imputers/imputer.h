@@ -15,14 +15,36 @@
 
 namespace rmi::imputers {
 
+/// Common interface of all data imputers.
+///
+/// Thread-safety: implementations are stateless after construction —
+/// Impute()/ImputeIncremental() are const and safe to call concurrently
+/// from multiple threads (all mutable state lives in locals and the
+/// caller-provided Rng; callers must not share one Rng across threads).
+/// Ownership: imputers never retain references to the input map or mask.
 class Imputer {
  public:
   virtual ~Imputer() = default;
 
-  /// Produces a fully imputed radio map.
+  /// Produces a fully imputed radio map: no null RSSIs, no null RPs
+  /// (CaseDeletion instead drops the null-RP records).
   virtual rmap::RadioMap Impute(const rmap::RadioMap& map,
                                 const rmap::MaskMatrix& amended_mask,
                                 Rng& rng) const = 0;
+
+  /// Incremental re-imputation — the live-update loop's re-fit entry point
+  /// (serving::MapUpdater). `merged` holds the previously surveyed records
+  /// plus the newly ingested delta observations, `amended_mask` is its
+  /// amended mask (same contract as Impute), and `previous_imputed` is the
+  /// output of the last imputation pass over the pre-delta records —
+  /// nullptr on the first build. The base implementation ignores the warm
+  /// start and runs a full Impute, so every backend (BiSIM included) works
+  /// in the update loop unchanged; backends with trainable state may
+  /// override to warm-start from `previous_imputed` and converge faster.
+  /// Must return a complete map, exactly like Impute.
+  virtual rmap::RadioMap ImputeIncremental(
+      const rmap::RadioMap& merged, const rmap::MaskMatrix& amended_mask,
+      const rmap::RadioMap* previous_imputed, Rng& rng) const;
 
   virtual std::string name() const = 0;
 };

@@ -31,6 +31,19 @@ namespace rmi::positioning {
 void ExtractLabeledRows(const rmap::RadioMap& map, la::Matrix* fingerprints,
                         std::vector<geom::Point>* labels);
 
+/// Common interface of the location estimators (module C).
+///
+/// Lifecycle and thread-safety: Fit() mutates and must complete before any
+/// query; estimators never retain references to the map they were fitted
+/// on (fitted state is copied out). After Fit, Estimate/EstimateBatch/
+/// EstimateFromCandidates are const and safe to call concurrently from
+/// multiple threads — no shared mutable scratch. Use Clone() to give
+/// parallel evaluation runs private instances.
+///
+/// Null-fingerprint semantics: online fingerprints may carry kNull entries
+/// only when SupportsPartialFingerprints() is true; an all-null fingerprint
+/// is always invalid (asserted — it has no distance signal). Reference maps
+/// handed to Fit must be complete (the imputers' output contract).
 class LocationEstimator {
  public:
   virtual ~LocationEstimator() = default;
@@ -119,7 +132,10 @@ class KnnEstimator : public LocationEstimator {
 };
 
 /// Random-forest regression (CART trees, bagging, feature subsampling,
-/// variance-reduction splits on the combined x/y variance).
+/// variance-reduction splits on the combined x/y variance). Does not
+/// support partial fingerprints: a kNull (NaN) silently mis-compares in
+/// the tree threshold logic, so callers must reject partial scans (the
+/// serving layer does).
 class RandomForestEstimator : public LocationEstimator {
  public:
   struct Params {

@@ -7,6 +7,10 @@
 
 namespace rmi::rmap {
 
+std::string ToString(const ShardId& id) {
+  return "b" + std::to_string(id.building) + "/f" + std::to_string(id.floor);
+}
+
 void RadioMap::Add(Record r) {
   RMI_CHECK_EQ(r.rssi.size(), num_aps_);
   if (r.id == Record::kUnassignedId) r.id = records_.size();

@@ -5,6 +5,7 @@
 #define RMI_RADIOMAP_RADIO_MAP_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/missing.h"
@@ -12,6 +13,30 @@
 #include "geometry/geometry.h"
 
 namespace rmi::rmap {
+
+/// Identifies one radio-map shard: a single floor of a building. The
+/// serving layer keys snapshot stores, query routing, and the live-update
+/// loop by ShardId; a RadioMap carries the id of the shard it surveys.
+struct ShardId {
+  int32_t building = 0;
+  int32_t floor = 0;
+
+  friend bool operator==(const ShardId& a, const ShardId& b) {
+    return a.building == b.building && a.floor == b.floor;
+  }
+  friend bool operator!=(const ShardId& a, const ShardId& b) {
+    return !(a == b);
+  }
+  /// Lexicographic (building, floor) — also the deterministic final
+  /// tie-break of the serving layer's floor classifier.
+  friend bool operator<(const ShardId& a, const ShardId& b) {
+    return a.building != b.building ? a.building < b.building
+                                    : a.floor < b.floor;
+  }
+};
+
+/// "b<building>/f<floor>" — for logs, test diagnostics, and bench tables.
+std::string ToString(const ShardId& id);
 
 /// One radio map record: a fingerprint (RSSI vector with nulls), an optional
 /// reference point, and the collection time (kept for the time-lag
@@ -45,6 +70,14 @@ class RadioMap {
   void Add(Record r);
 
   size_t num_aps() const { return num_aps_; }
+
+  /// Shard metadata: which (building, floor) this map surveys. Defaults to
+  /// shard (0, 0) for the single-map pipelines; the sharded serving layer
+  /// sets it on registration. Imputers build fresh output maps, so stages
+  /// that need the id re-stamp it (serving::MapUpdater does).
+  const ShardId& shard() const { return shard_; }
+  void set_shard(const ShardId& shard) { shard_ = shard; }
+
   size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
   const Record& record(size_t i) const { return records_[i]; }
@@ -68,6 +101,7 @@ class RadioMap {
 
  private:
   size_t num_aps_ = 0;
+  ShardId shard_;
   std::vector<Record> records_;
 };
 

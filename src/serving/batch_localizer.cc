@@ -5,11 +5,30 @@
 
 namespace rmi::serving {
 
+const char* QueryValidationError(const MapSnapshot& snapshot,
+                                 const double* fingerprint, size_t size) {
+  if (size != snapshot.num_aps()) {
+    return "fingerprint width does not match the snapshot";
+  }
+  size_t observed = 0;
+  for (size_t j = 0; j < size; ++j) observed += !IsNull(fingerprint[j]);
+  if (observed == 0) return "fingerprint observes no AP";
+  if (!snapshot.estimator->SupportsPartialFingerprints() && observed < size) {
+    return "snapshot estimator does not support partial fingerprints";
+  }
+  return nullptr;
+}
+
 geom::Point BatchLocalizer::Localize(
     const std::vector<double>& fingerprint) const {
   const std::shared_ptr<const MapSnapshot> snap = store_->Current();
   RMI_CHECK(snap != nullptr);
-  RMI_CHECK_EQ(fingerprint.size(), snap->num_aps());
+  return LocalizeOn(*snap, fingerprint);
+}
+
+geom::Point BatchLocalizer::LocalizeOn(const MapSnapshot& snapshot,
+                                       const std::vector<double>& fingerprint) {
+  RMI_CHECK_EQ(fingerprint.size(), snapshot.num_aps());
   // Same contract as Estimate/EstimateBatch: an all-null scan has no
   // distance signal (every masked distance is 0) and must not silently
   // decay to the first k reference rows; and a partial scan is only legal
@@ -17,15 +36,15 @@ geom::Point BatchLocalizer::Localize(
   size_t observed = 0;
   for (double v : fingerprint) observed += !IsNull(v);
   RMI_CHECK_GT(observed, 0u);
-  RMI_CHECK(snap->estimator->SupportsPartialFingerprints() ||
+  RMI_CHECK(snapshot.estimator->SupportsPartialFingerprints() ||
             observed == fingerprint.size());
   if (const auto* knn = dynamic_cast<const positioning::KnnEstimator*>(
-          snap->estimator.get())) {
+          snapshot.estimator.get())) {
     std::vector<Neighbor> candidates =
-        snap->index.Search(snap->fingerprints(), fingerprint, knn->k());
+        snapshot.index.Search(snapshot.fingerprints(), fingerprint, knn->k());
     return knn->EstimateFromCandidates(std::move(candidates));
   }
-  return snap->estimator->Estimate(fingerprint);
+  return snapshot.estimator->Estimate(fingerprint);
 }
 
 std::vector<geom::Point> BatchLocalizer::LocalizeBatch(

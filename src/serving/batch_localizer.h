@@ -24,6 +24,25 @@
 
 namespace rmi::serving {
 
+/// nullptr when `fingerprint` (length `size`) is a well-formed query for
+/// `snapshot`; otherwise a static reason string — wrong width, all-null
+/// (no distance signal), or a partial scan against an estimator without
+/// partial-fingerprint support. The single per-request validation rule:
+/// the server rejects through the request's promise, the shard router
+/// throws, both with this reason — a malformed query must never abort
+/// the serving process.
+const char* QueryValidationError(const MapSnapshot& snapshot,
+                                 const double* fingerprint, size_t size);
+
+/// Stateless query executor over a snapshot store.
+///
+/// Thread-safety: all entry points are const (or static) and safe to call
+/// concurrently; each grabs one snapshot and never mutates it. Ownership:
+/// the localizer borrows `store` (which must outlive it) and retains no
+/// per-query state. Null-fingerprint semantics follow the estimator
+/// contract: kNull entries are legal iff the snapshot's estimator
+/// supports partial fingerprints, and all-null scans are rejected
+/// (asserted).
 class BatchLocalizer {
  public:
   /// `store` must outlive the localizer.
@@ -41,6 +60,11 @@ class BatchLocalizer {
   /// server pins once per coalesced batch).
   static std::vector<geom::Point> LocalizeBatchOn(
       const MapSnapshot& snapshot, const la::Matrix& fingerprints);
+
+  /// Single-query path against an explicitly pinned snapshot (the shard
+  /// router pins per shard). Same exact-KNN pruning as Localize.
+  static geom::Point LocalizeOn(const MapSnapshot& snapshot,
+                                const std::vector<double>& fingerprint);
 
   std::shared_ptr<const MapSnapshot> snapshot() const {
     return store_->Current();

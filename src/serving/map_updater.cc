@@ -1,0 +1,239 @@
+#include "serving/map_updater.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+
+namespace rmi::serving {
+
+MapUpdater::MapUpdater(ShardedSnapshotStore* store,
+                       const cluster::Differentiator* differentiator,
+                       const imputers::Imputer* imputer,
+                       EstimatorFactory estimator_factory,
+                       const MapUpdaterOptions& options)
+    : store_(store),
+      differentiator_(differentiator),
+      imputer_(imputer),
+      estimator_factory_(std::move(estimator_factory)),
+      options_(options),
+      rng_(options.seed) {
+  RMI_CHECK(store_ != nullptr);
+  RMI_CHECK(differentiator_ != nullptr);
+  RMI_CHECK(imputer_ != nullptr);
+  RMI_CHECK(estimator_factory_ != nullptr);
+}
+
+MapUpdater::~MapUpdater() { Stop(); }
+
+MapUpdater::ShardState* MapUpdater::Find(const rmap::ShardId& id) const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  const auto it = shards_.find(id);
+  return it == shards_.end() ? nullptr : it->second.get();
+}
+
+void MapUpdater::RegisterShard(const rmap::ShardId& id, rmap::RadioMap base) {
+  RMI_CHECK(!base.empty());
+  RMI_CHECK_GT(base.num_aps(), 0u);
+  base.set_shard(id);
+  ShardState* state = nullptr;
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    std::unique_ptr<ShardState>& slot = shards_[id];
+    if (slot == nullptr) {
+      // A fresh shard is fully initialized (base in place) before it
+      // becomes visible in shards_: a concurrent Ingest that wins the
+      // Find race must see the real width, never an empty base.
+      slot = std::make_unique<ShardState>();
+      slot->base = std::move(base);
+      fresh = true;
+    }
+    state = slot.get();
+  }
+  if (!fresh) {
+    // Same lock order as Rebuild (rebuild_mu, then mu): a re-registration
+    // waits out any in-flight rebuild of the old base instead of pulling
+    // its survey state from under it.
+    std::lock_guard<std::mutex> rebuild_lock(state->rebuild_mu);
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->base = std::move(base);
+    state->deltas.clear();
+    state->last_imputed = rmap::RadioMap();
+    state->has_imputed = false;
+    state->next_version = 1;
+  }
+  size_t num_shards = 0;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    num_shards = shards_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.shards = num_shards;
+  }
+  Rebuild(id, state);  // first impute + fit + publish, synchronous
+}
+
+void MapUpdater::Ingest(const rmap::ShardId& id, rmap::Record observation) {
+  ShardState* state = Find(id);
+  if (state == nullptr) {
+    throw std::runtime_error("ingest into unregistered shard " +
+                             rmap::ToString(id));
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (observation.rssi.size() != state->base.num_aps()) {
+      throw std::runtime_error("ingested observation width does not match "
+                               "shard " +
+                               rmap::ToString(id));
+    }
+    state->deltas.push_back(std::move(observation));
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.ingested;
+}
+
+bool MapUpdater::RebuildNow(const rmap::ShardId& id) {
+  ShardState* state = Find(id);
+  if (state == nullptr) return false;
+  Rebuild(id, state);
+  return true;
+}
+
+void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state) {
+  // One rebuild at a time per shard; the delta mutex is only held for the
+  // cheap fold/copy below, never during the impute/fit phase, so Ingest
+  // keeps flowing while the pipeline runs.
+  std::lock_guard<std::mutex> rebuild_lock(state->rebuild_mu);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rebuilds_started;
+  }
+  Timer timer;
+
+  rmap::RadioMap working;
+  rmap::RadioMap previous;
+  bool have_previous = false;
+  uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    for (rmap::Record& r : state->deltas) state->base.Add(std::move(r));
+    state->deltas.clear();
+    working = state->base;
+    if (state->has_imputed) {
+      previous = state->last_imputed;
+      have_previous = true;
+    }
+    version = state->next_version++;
+  }
+
+  Rng rebuild_rng(0);
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    rebuild_rng = rng_.Fork();
+  }
+
+  // The paper pipeline, online: differentiate -> MNAR fill -> (re-)impute
+  // -> fit -> freeze -> hot-swap.
+  rmap::MaskMatrix mask = differentiator_->Differentiate(working, rebuild_rng);
+  imputers::FillMnar(&working, &mask);
+  rmap::RadioMap imputed = imputer_->ImputeIncremental(
+      working, mask, have_previous ? &previous : nullptr, rebuild_rng);
+  imputed.set_shard(id);
+
+  SnapshotOptions snapshot_options;
+  snapshot_options.version = version;
+  snapshot_options.cell_size_m = options_.snapshot_cell_size_m;
+  std::shared_ptr<const MapSnapshot> snapshot = BuildSnapshot(
+      imputed, estimator_factory_(), rebuild_rng, snapshot_options);
+  store_->Publish(id, snapshot);
+
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->last_imputed = std::move(imputed);
+    state->has_imputed = true;
+    state->since_rebuild.Reset();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rebuilds_completed;
+    stats_.last_rebuild_seconds = timer.ElapsedSeconds();
+  }
+}
+
+void MapUpdater::Start() {
+  // lifecycle_mu_ serializes Start/Stop against each other (the loop
+  // thread never takes it, so Stop can join while holding it). Without
+  // it, a Start racing a Stop could reset stop_ before the old loop
+  // thread observed it — stranding that thread and blocking Stop's join
+  // forever.
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  std::lock_guard<std::mutex> lock(loop_mu_);
+  if (loop_.joinable()) return;
+  stop_ = false;
+  loop_ = std::thread([this] { TriggerLoop(); });
+}
+
+void MapUpdater::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    if (!loop_.joinable()) return;
+    stop_ = true;
+    to_join = std::move(loop_);
+  }
+  loop_cv_.notify_all();
+  to_join.join();
+}
+
+void MapUpdater::TriggerLoop() {
+  const auto poll = std::chrono::duration<double, std::milli>(
+      options_.poll_interval_ms);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(loop_mu_);
+      loop_cv_.wait_for(lock, poll, [this] { return stop_; });
+      if (stop_) return;
+    }
+    std::vector<rmap::ShardId> ids;
+    {
+      std::lock_guard<std::mutex> lock(shards_mu_);
+      ids.reserve(shards_.size());
+      for (const auto& [id, state] : shards_) ids.push_back(id);
+    }
+    for (const rmap::ShardId& id : ids) {
+      {
+        std::lock_guard<std::mutex> lock(loop_mu_);
+        if (stop_) return;
+      }
+      ShardState* state = Find(id);
+      if (state == nullptr) continue;
+      bool trip = false;
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        const size_t pending = state->deltas.size();
+        trip = pending >= options_.min_new_observations ||
+               (pending > 0 && state->since_rebuild.ElapsedSeconds() >
+                                   options_.max_staleness_seconds);
+      }
+      if (trip) Rebuild(id, state);
+    }
+  }
+}
+
+size_t MapUpdater::PendingObservations(const rmap::ShardId& id) const {
+  ShardState* state = Find(id);
+  if (state == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(state->mu);
+  return state->deltas.size();
+}
+
+MapUpdaterStats MapUpdater::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace rmi::serving

@@ -1,0 +1,154 @@
+// The live ingest -> impute -> publish loop behind sharded serving.
+//
+// MapUpdater owns each shard's *survey state* (the sparse record base plus
+// a delta buffer of newly ingested observations) and runs the paper's
+// offline pipeline — differentiate -> MNAR-fill -> impute -> fit — as an
+// online background process: when a shard's pending delta volume or
+// staleness threshold trips, the deltas are folded into the base, the
+// merged map is re-imputed (any imputers/ backend, via the incremental
+// entry point Imputer::ImputeIncremental), a fresh estimator is fitted,
+// and the rebuilt snapshot is published through the store's atomic
+// hot-swap — in-flight queries never block and never observe a torn map.
+//
+// Threading model: Ingest is called from any number of threads (it only
+// appends to a mutex-guarded delta buffer). Rebuilds run one at a time on
+// the background trigger thread (or on the caller inside RebuildNow) and
+// never hold the delta mutex during the long impute/fit phase, so ingest
+// is never stalled by a rebuild. Stop() is graceful: a rebuild in flight
+// runs to completion (and publishes) before the thread joins.
+#ifndef RMI_SERVING_MAP_UPDATER_H_
+#define RMI_SERVING_MAP_UPDATER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "clustering/differentiation.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "imputers/imputer.h"
+#include "positioning/estimators.h"
+#include "radiomap/radio_map.h"
+#include "serving/shard_router.h"
+#include "serving/snapshot.h"
+
+namespace rmi::serving {
+
+struct MapUpdaterOptions {
+  /// Volume trigger: rebuild once this many delta observations are pending.
+  size_t min_new_observations = 64;
+  /// Staleness trigger: rebuild when any deltas are pending and the last
+  /// rebuild is older than this. Infinity = volume-only triggering.
+  double max_staleness_seconds = std::numeric_limits<double>::infinity();
+  /// Background trigger-loop poll period.
+  double poll_interval_ms = 2.0;
+  /// Spatial-index grid pitch of published snapshots, meters.
+  double snapshot_cell_size_m = 6.0;
+  /// Seed of the updater's private Rng (imputation + estimator fitting).
+  uint64_t seed = 127;
+};
+
+struct MapUpdaterStats {
+  size_t shards = 0;
+  size_t ingested = 0;            ///< observations accepted by Ingest
+  size_t rebuilds_started = 0;
+  size_t rebuilds_completed = 0;  ///< each one published a snapshot
+  double last_rebuild_seconds = 0.0;  ///< differentiate+impute+fit+publish
+};
+
+/// Builds the (unfitted) estimator each rebuild publishes; called once per
+/// rebuild so every snapshot owns a private fitted instance.
+using EstimatorFactory =
+    std::function<std::unique_ptr<positioning::LocationEstimator>()>;
+
+class MapUpdater {
+ public:
+  /// `store`, `differentiator`, and `imputer` must outlive the updater and
+  /// be non-null; the imputer and differentiator are shared const (their
+  /// entry points are thread-safe by contract). The updater owns nothing
+  /// it is handed except the per-shard survey state built up via
+  /// RegisterShard/Ingest.
+  MapUpdater(ShardedSnapshotStore* store,
+             const cluster::Differentiator* differentiator,
+             const imputers::Imputer* imputer, EstimatorFactory estimator_factory,
+             const MapUpdaterOptions& options = {});
+  ~MapUpdater();  ///< calls Stop()
+
+  MapUpdater(const MapUpdater&) = delete;
+  MapUpdater& operator=(const MapUpdater&) = delete;
+
+  /// Adopts `base` (a sparse survey map; nulls welcome) as shard `id`'s
+  /// record base, runs the first differentiate -> impute -> fit cycle
+  /// synchronously, and publishes snapshot version 1. Re-registering an
+  /// existing shard replaces its base and republishes.
+  void RegisterShard(const rmap::ShardId& id, rmap::RadioMap base);
+
+  /// Appends one new survey observation (sparse RSSIs, RP optional) to the
+  /// shard's delta buffer. Thread-safe; never blocks on a rebuild. Throws
+  /// std::runtime_error for an unknown shard or a width mismatch — a bad
+  /// feed must not abort the serving process.
+  void Ingest(const rmap::ShardId& id, rmap::Record observation);
+
+  /// Rebuilds `id` now with whatever deltas are pending (possibly none —
+  /// a forced re-impute), publishing a new snapshot version. Returns false
+  /// for an unknown shard. Runs on the calling thread.
+  bool RebuildNow(const rmap::ShardId& id);
+
+  /// Starts the background trigger loop (idempotent).
+  void Start();
+  /// Graceful shutdown: a rebuild in flight completes and publishes before
+  /// the loop joins. Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Deltas currently buffered for shard `id` (0 for unknown shards).
+  size_t PendingObservations(const rmap::ShardId& id) const;
+
+  MapUpdaterStats Stats() const;
+
+ private:
+  struct ShardState {
+    std::mutex mu;                     ///< guards base, deltas, timestamps
+    rmap::RadioMap base;               ///< sparse survey records
+    std::vector<rmap::Record> deltas;  ///< ingested since the last rebuild
+    rmap::RadioMap last_imputed;       ///< warm-start input for the imputer
+    bool has_imputed = false;
+    Timer since_rebuild;
+    uint64_t next_version = 1;
+    std::mutex rebuild_mu;  ///< one rebuild at a time per shard
+  };
+
+  ShardState* Find(const rmap::ShardId& id) const;
+  void Rebuild(const rmap::ShardId& id, ShardState* state);
+  void TriggerLoop();
+
+  ShardedSnapshotStore* store_;
+  const cluster::Differentiator* differentiator_;
+  const imputers::Imputer* imputer_;
+  EstimatorFactory estimator_factory_;
+  const MapUpdaterOptions options_;
+
+  mutable std::mutex shards_mu_;  ///< guards the shard map itself
+  std::map<rmap::ShardId, std::unique_ptr<ShardState>> shards_;
+
+  std::mutex rng_mu_;  ///< rebuilds run serially, but RegisterShard races
+  Rng rng_;
+
+  mutable std::mutex stats_mu_;
+  MapUpdaterStats stats_;
+
+  std::mutex lifecycle_mu_;  ///< serializes Start/Stop (join included)
+  std::mutex loop_mu_;
+  std::condition_variable loop_cv_;
+  bool stop_ = false;
+  std::thread loop_;
+};
+
+}  // namespace rmi::serving
+
+#endif  // RMI_SERVING_MAP_UPDATER_H_

@@ -98,24 +98,17 @@ void LocalizationServer::ProcessBatch(std::vector<Request>* batch) {
   RMI_CHECK(snap != nullptr);
   const size_t d = snap->num_aps();
 
-  // Per-request validation: a malformed scan — wrong width (e.g. sized for
-  // a pre-hot-swap snapshot) or all-null (no distance signal) — is
-  // rejected through its promise; it must never abort the server.
-  const bool partial_ok = snap->estimator->SupportsPartialFingerprints();
+  // Per-request validation (the rule shared with the shard router): a
+  // malformed scan — wrong width (e.g. sized for a pre-hot-swap snapshot)
+  // or all-null (no distance signal) — is rejected through its promise;
+  // it must never abort the server.
   std::vector<size_t> valid;
   valid.reserve(batch->size());
   size_t num_rejected = 0;
   for (size_t i = 0; i < batch->size(); ++i) {
     Request& r = (*batch)[i];
-    size_t observed = 0;
-    for (double v : r.fingerprint) observed += !IsNull(v);
-    const char* reason =
-        r.fingerprint.size() != d
-            ? "fingerprint width does not match the current snapshot"
-        : observed == 0 ? "fingerprint observes no AP"
-        : (!partial_ok && observed < d)
-            ? "snapshot estimator does not support partial fingerprints"
-            : nullptr;
+    const char* reason = QueryValidationError(*snap, r.fingerprint.data(),
+                                              r.fingerprint.size());
     if (reason != nullptr) {
       r.promise.set_exception(
           std::make_exception_ptr(std::runtime_error(reason)));

@@ -53,6 +53,15 @@ struct ServerStats {
   double qps = 0.0;            ///< completed / uptime
 };
 
+/// Coalescing localization front end over one snapshot store.
+///
+/// Thread-safety: Submit/Localize/Stats may be called concurrently from
+/// any number of threads; Stop is idempotent and may race Submit (the
+/// loser's future holds a std::runtime_error). Ownership: the server
+/// borrows `store` and owns its queue, dispatch pool, and stats. Malformed
+/// fingerprints (wrong width, all-null, partial scan against an estimator
+/// without partial support) reject the one request via its future — they
+/// never abort the process.
 class LocalizationServer {
  public:
   /// `store` must outlive the server and hold a published snapshot before

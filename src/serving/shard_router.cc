@@ -1,0 +1,295 @@
+#include "serving/shard_router.h"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "common/check.h"
+#include "common/missing.h"
+#include "serving/batch_localizer.h"
+
+namespace rmi::serving {
+
+namespace {
+
+/// An AP counts as audible on a shard when its peak reference RSSI rises
+/// meaningfully above the -100 dBm MNAR fill (a floor whose references
+/// never hear an AP stores exactly the fill).
+constexpr double kAudibleMarginDbm = 0.5;
+
+/// Throws the shared per-request rejection for a malformed query; never
+/// aborts — one bad request must not take the serving process down.
+void ValidateQuery(const MapSnapshot& snapshot, const double* fingerprint,
+                   size_t size) {
+  const char* reason = QueryValidationError(snapshot, fingerprint, size);
+  if (reason != nullptr) throw std::runtime_error(reason);
+}
+
+}  // namespace
+
+ShardProfile BuildShardProfile(const MapSnapshot& snapshot) {
+  const la::Matrix& refs = snapshot.fingerprints();
+  ShardProfile profile;
+  profile.observable.assign(refs.cols(), 0);
+  profile.peak_rssi.assign(refs.cols(), kMnarFillDbm);
+  for (size_t i = 0; i < refs.rows(); ++i) {
+    for (size_t j = 0; j < refs.cols(); ++j) {
+      if (refs(i, j) > profile.peak_rssi[j]) profile.peak_rssi[j] = refs(i, j);
+    }
+  }
+  for (size_t j = 0; j < refs.cols(); ++j) {
+    if (profile.peak_rssi[j] > kMnarFillDbm + kAudibleMarginDbm) {
+      profile.observable[j] = 1;
+      ++profile.num_observable;
+    }
+  }
+  return profile;
+}
+
+void ShardedSnapshotStore::Publish(const rmap::ShardId& id,
+                                   std::shared_ptr<const MapSnapshot> snapshot) {
+  RMI_CHECK(snapshot != nullptr);
+  auto profile =
+      std::make_shared<const ShardProfile>(BuildShardProfile(*snapshot));
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  const std::shared_ptr<const Table> table = LoadTable();
+  const auto it = table->find(id);
+  if (it == table->end()) {
+    // First publish: build the entry fully formed — profile set, snapshot
+    // published — then swap the enlarged table in. A concurrent reader sees
+    // either no shard or a complete one.
+    auto shard = std::make_shared<Shard>();
+    shard->profile = std::move(profile);
+    shard->store.Publish(std::move(snapshot));
+    auto next = std::make_shared<Table>(*table);
+    (*next)[id] = std::move(shard);
+    std::atomic_store_explicit(&table_,
+                               std::shared_ptr<const Table>(std::move(next)),
+                               std::memory_order_release);
+  } else {
+    Shard& shard = *it->second;
+    shard.store.Publish(std::move(snapshot));
+    std::atomic_store_explicit(&shard.profile, std::move(profile),
+                               std::memory_order_release);
+  }
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const MapSnapshot> ShardedSnapshotStore::Current(
+    const rmap::ShardId& id) const {
+  const std::shared_ptr<const Table> table = LoadTable();
+  const auto it = table->find(id);
+  return it == table->end() ? nullptr : it->second->store.Current();
+}
+
+std::shared_ptr<const ShardProfile> ShardedSnapshotStore::Profile(
+    const rmap::ShardId& id) const {
+  const std::shared_ptr<const Table> table = LoadTable();
+  const auto it = table->find(id);
+  return it == table->end() ? nullptr : it->second->LoadProfile();
+}
+
+std::vector<std::pair<rmap::ShardId, std::shared_ptr<const ShardProfile>>>
+ShardedSnapshotStore::Profiles() const {
+  const std::shared_ptr<const Table> table = LoadTable();
+  std::vector<std::pair<rmap::ShardId, std::shared_ptr<const ShardProfile>>>
+      out;
+  out.reserve(table->size());
+  for (const auto& [id, shard] : *table) {
+    out.emplace_back(id, shard->LoadProfile());
+  }
+  return out;
+}
+
+bool ShardedSnapshotStore::Contains(const rmap::ShardId& id) const {
+  const std::shared_ptr<const Table> table = LoadTable();
+  return table->find(id) != table->end();
+}
+
+std::vector<rmap::ShardId> ShardedSnapshotStore::ShardIds() const {
+  const std::shared_ptr<const Table> table = LoadTable();
+  std::vector<rmap::ShardId> ids;
+  ids.reserve(table->size());
+  for (const auto& [id, shard] : *table) ids.push_back(id);
+  return ids;
+}
+
+size_t ShardedSnapshotStore::num_shards() const { return LoadTable()->size(); }
+
+ShardRouter::ShardRouter(const ShardedSnapshotStore* store, size_t num_threads)
+    : store_(store), pool_(num_threads) {
+  RMI_CHECK(store_ != nullptr);
+}
+
+namespace {
+
+/// Shared scoring core: classify `fingerprint` against one consistent
+/// profile listing (ascending ShardId, as Profiles() returns it).
+std::optional<RouteDecision> ClassifyAgainst(
+    const std::vector<
+        std::pair<rmap::ShardId, std::shared_ptr<const ShardProfile>>>&
+        profiles,
+    const double* fingerprint, size_t size) {
+  // One pass over the query: the observed AP indices (venue queries are
+  // mostly kNull — a device hears only its own floor — so the per-shard
+  // overlap loop below runs over |observed|, not D) and the loudest one,
+  // the strongest-AP tie-break pivot.
+  std::vector<size_t> observed;
+  size_t strongest_ap = size;
+  double strongest_rssi = -std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < size; ++j) {
+    if (IsNull(fingerprint[j])) continue;
+    observed.push_back(j);
+    if (fingerprint[j] > strongest_rssi) {
+      strongest_rssi = fingerprint[j];
+      strongest_ap = j;
+    }
+  }
+  if (strongest_ap == size) return std::nullopt;  // all-null scan
+
+  bool have_best = false;
+  RouteDecision best;
+  double best_peak = -std::numeric_limits<double>::infinity();
+  size_t best_overlap_count = 0;  // shards achieving the winning overlap
+  for (const auto& [id, profile] : profiles) {
+    if (profile == nullptr || profile->num_aps() != size) continue;
+    size_t overlap = 0;
+    for (size_t j : observed) overlap += profile->observable[j];
+    const double peak = profile->peak_rssi[strongest_ap];
+    if (!have_best || overlap > best.overlap) {
+      have_best = true;
+      best.shard = id;
+      best.overlap = overlap;
+      best_peak = peak;
+      best_overlap_count = 1;
+    } else if (overlap == best.overlap) {
+      ++best_overlap_count;
+      // Strongest-AP rule; profiles arrive in ascending ShardId, so a
+      // strict comparison keeps the smallest id on a full tie.
+      if (peak > best_peak) {
+        best.shard = id;
+        best_peak = peak;
+      }
+    }
+  }
+  // No shard hears any AP the query observed: the query cannot belong to
+  // a published floor, and "the smallest id wins" would be a confident
+  // answer from an unrelated map. Unroutable instead.
+  if (!have_best || best.overlap == 0) return std::nullopt;
+  best.by_strongest_ap = best_overlap_count > 1;
+  return best;
+}
+
+}  // namespace
+
+std::optional<RouteDecision> ShardRouter::ClassifyFloor(
+    const std::vector<double>& fingerprint) const {
+  return ClassifyAgainst(store_->Profiles(), fingerprint.data(),
+                         fingerprint.size());
+}
+
+geom::Point ShardRouter::Localize(const rmap::ShardId& shard,
+                                  const std::vector<double>& fingerprint) const {
+  const std::shared_ptr<const MapSnapshot> snap = store_->Current(shard);
+  if (snap == nullptr) {
+    throw std::runtime_error("shard " + rmap::ToString(shard) +
+                             " has no published snapshot");
+  }
+  ValidateQuery(*snap, fingerprint.data(), fingerprint.size());
+  return BatchLocalizer::LocalizeOn(*snap, fingerprint);
+}
+
+ShardRouter::AutoResult ShardRouter::LocalizeAuto(
+    const std::vector<double>& fingerprint) const {
+  const std::optional<RouteDecision> route = ClassifyFloor(fingerprint);
+  if (!route.has_value()) {
+    throw std::runtime_error(
+        "fingerprint cannot be floor-classified (no shards or no observed "
+        "AP)");
+  }
+  return AutoResult{Localize(route->shard, fingerprint), *route};
+}
+
+ShardRouter::BatchResult ShardRouter::LocalizeBatch(
+    const la::Matrix& queries,
+    const std::vector<std::optional<rmap::ShardId>>& hints) const {
+  const size_t b = queries.rows();
+  const size_t d = queries.cols();
+  if (!hints.empty() && hints.size() != b) {
+    throw std::runtime_error("hints are not row-aligned with the batch");
+  }
+
+  BatchResult out;
+  out.positions.resize(b);
+  out.shards.resize(b);
+  if (b == 0) return out;
+
+  // Resolve every row to a shard (classifying unhinted rows against one
+  // consistent profile listing), then group rows by shard.
+  const auto profiles = store_->Profiles();
+  std::map<rmap::ShardId, std::vector<size_t>> by_shard;
+  for (size_t i = 0; i < b; ++i) {
+    const double* row = queries.data().data() + i * d;
+    rmap::ShardId shard;
+    if (!hints.empty() && hints[i].has_value()) {
+      shard = *hints[i];
+    } else {
+      const std::optional<RouteDecision> route =
+          ClassifyAgainst(profiles, row, d);
+      if (!route.has_value()) {
+        throw std::runtime_error(
+            "batch row cannot be floor-classified (no shards or no observed "
+            "AP)");
+      }
+      shard = route->shard;
+      ++out.classified;
+    }
+    out.shards[i] = shard;
+    by_shard[shard].push_back(i);
+  }
+
+  // Pin one snapshot per shard group and validate every row up front, so a
+  // malformed batch is rejected before any work fans out (and no exception
+  // can escape inside a pool worker).
+  struct Group {
+    std::shared_ptr<const MapSnapshot> snapshot;
+    std::vector<size_t> rows;
+    la::Matrix block;
+  };
+  std::vector<Group> groups;
+  groups.reserve(by_shard.size());
+  for (auto& [shard, rows] : by_shard) {
+    Group g;
+    g.snapshot = store_->Current(shard);
+    if (g.snapshot == nullptr) {
+      throw std::runtime_error("shard " + rmap::ToString(shard) +
+                               " has no published snapshot");
+    }
+    for (size_t i : rows) {
+      ValidateQuery(*g.snapshot, queries.data().data() + i * d, d);
+    }
+    g.block = la::Matrix(rows.size(), d);
+    for (size_t r = 0; r < rows.size(); ++r) {
+      const double* src = queries.data().data() + rows[r] * d;
+      std::copy(src, src + d, g.block.data().begin() + r * d);
+    }
+    g.rows = std::move(rows);
+    groups.push_back(std::move(g));
+  }
+  out.shard_groups = groups.size();
+
+  // Fan the per-shard groups across the pool; each group is one batched
+  // estimator pass, scattered back into row order.
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  pool_.ParallelFor(groups.size(), [&](size_t /*worker*/, size_t gi) {
+    Group& g = groups[gi];
+    const std::vector<geom::Point> points =
+        BatchLocalizer::LocalizeBatchOn(*g.snapshot, g.block);
+    for (size_t r = 0; r < g.rows.size(); ++r) {
+      out.positions[g.rows[r]] = points[r];
+    }
+  });
+  return out;
+}
+
+}  // namespace rmi::serving

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Link-lint for the repo's markdown: README.md and docs/*.md.
+
+Checks every relative markdown link — `[text](path)` and `[text](path#anchor)`
+— against the working tree, and every intra-document `#anchor` against the
+target file's headings (GitHub anchor rules: lowercase, spaces to dashes,
+punctuation stripped). External http(s) links are not fetched. Exits
+non-zero listing every broken link; CI runs this on every push.
+
+Usage: python3 tools/check_markdown_links.py [file.md ...]
+       (no arguments: README.md + docs/**/*.md)
+"""
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_anchor(heading: str) -> str:
+    heading = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # linked text
+    heading = heading.lower().replace(" ", "-")
+    return re.sub(r"[^\w\-]", "", heading)
+
+
+def anchors_of(path: pathlib.Path) -> set:
+    return {github_anchor(h) for h in HEADING_RE.findall(path.read_text())}
+
+
+def check(md: pathlib.Path) -> list:
+    errors = []
+    for target in LINK_RE.findall(md.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        dest = (md.parent / path_part).resolve() if path_part else md
+        if not dest.exists():
+            errors.append(f"{md}: broken link -> {target}")
+            continue
+        if anchor and dest.suffix == ".md":
+            if github_anchor(anchor) not in anchors_of(dest):
+                errors.append(f"{md}: missing anchor -> {target}")
+    return errors
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    files = [pathlib.Path(a) for a in sys.argv[1:]] or [
+        root / "README.md",
+        *sorted((root / "docs").glob("**/*.md")),
+    ]
+    errors = []
+    for md in files:
+        errors.extend(check(md))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{'FAIL' if errors else 'ok'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
