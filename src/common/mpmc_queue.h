@@ -1,0 +1,121 @@
+// Bounded lock-free MPMC ring (Vyukov's bounded queue).
+//
+// The localization server's submit path used to funnel every producer and
+// every dispatcher through one mutex + condvar; under millions-of-users
+// style fan-in that lock is the hot spot. This ring replaces it: each cell
+// carries a sequence number, producers claim cells by CAS on the enqueue
+// cursor, consumers by CAS on the dequeue cursor, and the sequence numbers
+// order the hand-off of each cell's payload — no lock anywhere, and a
+// stalled producer/consumer only delays its own cell, never the cursors.
+//
+// Semantics: TryPush fails when the ring is full (bounded backpressure is
+// the point — an unbounded queue just moves the overload into memory),
+// TryPop fails when it is empty. FIFO per producer; cross-producer order is
+// the CAS arrival order. Blocking/parking is the caller's concern: see
+// LocalizationServer for the condvar-parked idle protocol layered on top.
+#ifndef RMI_COMMON_MPMC_QUEUE_H_
+#define RMI_COMMON_MPMC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace rmi {
+
+/// T must be move-constructible/assignable. Capacity is rounded up to a
+/// power of two.
+template <typename T>
+class MpmcRingQueue {
+ public:
+  explicit MpmcRingQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRingQueue(const MpmcRingQueue&) = delete;
+  MpmcRingQueue& operator=(const MpmcRingQueue&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// False iff the ring is full. On success the item is visible to TryPop
+  /// before the call returns (release on the cell sequence).
+  bool TryPush(T&& item) {
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const size_t seq = cell.seq.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        // Cell is free for this lap; claim it by advancing the cursor.
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          cell.item = std::move(item);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // the consumer lap hasn't freed this cell: full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// False iff the ring is empty.
+  bool TryPop(T* out) {
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const size_t seq = cell.seq.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          *out = std::move(cell.item);
+          // Free the cell for the producers' next lap.
+          cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // no producer has filled this cell yet: empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Cursor-distance emptiness probe — exact only at a quiescent point;
+  /// good enough to decide "worth parking?" (the parking handshake
+  /// re-checks with seq_cst ordering against the producer side).
+  bool ApproxEmpty() const {
+    return dequeue_pos_.load(std::memory_order_acquire) ==
+           enqueue_pos_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> seq;
+    T item;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_ = 0;
+  /// Producer and consumer cursors on their own cache lines so CAS traffic
+  /// from one side never invalidates the other's line.
+  alignas(64) std::atomic<size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<size_t> dequeue_pos_{0};
+};
+
+}  // namespace rmi
+
+#endif  // RMI_COMMON_MPMC_QUEUE_H_

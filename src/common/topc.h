@@ -1,0 +1,85 @@
+// Branchless streaming smallest-c selection.
+//
+// The serving ranking paths scan thousands of candidate keys per query and
+// keep only the c smallest (c is a handful: k plus an error-margin band).
+// The classic structures pay for that in mispredicted branches — a binary
+// search + shifting insert (position-dependent branches) or a heap (pointer
+// chasing) — on every admitted key. StreamingTopC instead keeps a sorted
+// buffer of fixed capacity, pre-filled with a sentinel "worst" value, and
+// inserts by bubbling the new key through with two registers:
+//
+//     for each lane t:  buf[t] <- min(buf[t], key);  key <- max(old, key)
+//
+// Each lane is a compare + two conditional moves — no data-dependent
+// branches, no shifting loop, and the sentinel makes the not-yet-full state
+// structurally identical to the full state (no fill counter in the hot
+// path). The only branch is the admission guard `key < worst()`, which is
+// predictable: after warm-up almost every key fails it.
+#ifndef RMI_COMMON_TOPC_H_
+#define RMI_COMMON_TOPC_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rmi {
+
+/// Keeps the `c` smallest values pushed so far, ascending. T needs
+/// operator< (ints, doubles, or (key, index) pairs for deterministic tie
+/// order) and cheap copies. Capacity 0 is legal: every push is dropped and
+/// Take() is empty — callers selecting "top 0" get the vacuous answer
+/// instead of UB.
+template <typename T>
+class StreamingTopC {
+ public:
+  /// `sentinel` must compare >= every real key (e.g. +inf, INT32_MAX).
+  StreamingTopC(size_t c, T sentinel) : buf_(c, sentinel), sentinel_(sentinel) {}
+
+  /// Back to the freshly constructed state without touching the heap —
+  /// hot loops construct once and Reset per item.
+  void Reset() {
+    std::fill(buf_.begin(), buf_.end(), sentinel_);
+    seen_ = 0;
+  }
+
+  void Push(T v) {
+    ++seen_;
+    if (buf_.empty() || !(v < buf_.back())) return;
+    for (size_t t = 0; t < buf_.size(); ++t) {
+      const T cur = buf_[t];
+      const bool lt = v < cur;
+      buf_[t] = lt ? v : cur;  // lane keeps the smaller of (lane, key)
+      v = lt ? cur : v;        // the larger bubbles on toward the tail
+    }
+  }
+
+  /// The current c-th smallest (the admission boundary); the sentinel
+  /// until c values have been pushed. Capacity must be > 0.
+  const T& worst() const {
+    RMI_CHECK(!buf_.empty());
+    return buf_.back();
+  }
+
+  /// Number of values pushed (admitted or not).
+  size_t seen() const { return seen_; }
+  /// Number of real (non-sentinel) entries currently held.
+  size_t size() const { return std::min(seen_, buf_.size()); }
+  size_t capacity() const { return buf_.size(); }
+
+  /// The held values, ascending — only the first size() entries.
+  std::vector<T> Take() const {
+    return std::vector<T>(buf_.begin(),
+                          buf_.begin() + static_cast<long>(size()));
+  }
+
+ private:
+  std::vector<T> buf_;  ///< ascending; tail is the admission boundary
+  T sentinel_;
+  size_t seen_ = 0;
+};
+
+}  // namespace rmi
+
+#endif  // RMI_COMMON_TOPC_H_

@@ -6,7 +6,9 @@
 
 #include "common/check.h"
 #include "common/missing.h"
+#include "common/topc.h"
 #include "la/kernels.h"
+#include "la/quant.h"
 
 namespace rmi::positioning {
 
@@ -85,6 +87,10 @@ void KnnEstimator::Fit(const rmap::RadioMap& map, Rng&) {
   la::CwiseUnaryInto(features_t_, &features_sq_t_,
                      [](double v) { return v * v; });
   la::RowSquaredNorms(features_mat_, &feature_norms_);
+  // Int8 ranking copy for the kQuant kernel; the float members above stay
+  // the exact-rescore master. Built unconditionally — it is 1/8th the size
+  // of the float matrix and the kernel choice may change per batch.
+  quant_ = la::QuantizeRefs(features_mat_);
 }
 
 geom::Point KnnEstimator::EstimateFromCandidates(
@@ -127,6 +133,9 @@ std::vector<geom::Point> KnnEstimator::EstimateBatch(
   const size_t d = features_mat_.cols();
   const size_t r = labels_.size();
   RMI_CHECK_EQ(fingerprints.cols(), d);
+  if (kernel_ == RankingKernel::kQuant) {
+    return EstimateBatchQuant(fingerprints);
+  }
 
   // Which rows are partial? The masked path needs two extra operands
   // (null-zeroed queries and the 0/1 observation mask) and a second Gemm.
@@ -141,6 +150,10 @@ std::vector<geom::Point> KnnEstimator::EstimateBatch(
 
   // Cross term: one Gemm computes every query.reference dot product. With
   // partial rows, nulls contribute 0 — exactly the masked cross term.
+  // kGemm keeps the reproducible blocked kernel; kFastNN trades ~1 ulp per
+  // k-term of rounding for the register-lane SIMD kernel — either way the
+  // exact rescore below absorbs the drift.
+  const bool fast = kernel_ == RankingKernel::kFastNN;
   la::Matrix cross;  // b x r
   la::Matrix zeroed, mask, masked_norms;
   const la::Matrix* queries = &fingerprints;
@@ -151,11 +164,17 @@ std::vector<geom::Point> KnnEstimator::EstimateBatch(
                        [](double v) { return IsNull(v) ? 0.0 : 1.0; });
     queries = &zeroed;
     // Masked reference norms: sum_j m_ij * f_kj^2 = (M x (F o F)^T)_ik.
-    la::GemmFastNN(mask, features_sq_t_, &masked_norms);
+    if (fast) {
+      la::GemmFastNN(mask, features_sq_t_, &masked_norms);
+    } else {
+      la::Gemm(1.0, mask, false, features_sq_t_, false, 0.0, &masked_norms);
+    }
   }
-  // Relaxed-rounding ranking Gemm: key drift (~1 ulp/term) is far inside
-  // the selection margin below, and candidates are re-scored exactly.
-  la::GemmFastNN(*queries, features_t_, &cross);
+  if (fast) {
+    la::GemmFastNN(*queries, features_t_, &cross);
+  } else {
+    la::Gemm(1.0, *queries, false, features_t_, false, 0.0, &cross);
+  }
 
   // Per row: rank by (reference norm - 2 cross) — the query norm is
   // constant within a row — then re-score the top candidates exactly so the
@@ -164,42 +183,116 @@ std::vector<geom::Point> KnnEstimator::EstimateBatch(
   // takes every reference within a margin far above that error of the
   // c-th-smallest key: Gemm rounding can never evict a true top-k neighbor.
   //
-  // Selection is two streaming passes (a c-element sorted buffer finds the
+  // Selection is two streaming passes (a branchless top-c buffer finds the
   // threshold, then a gather) — no per-row (key, index) array and no
   // nth_element over all references, which would cost more than the Gemm.
   const size_t num_candidates = std::min(r, k_ + std::max<size_t>(k_, 8));
   std::vector<geom::Point> out(b);
   std::vector<double> keys(r);
-  std::vector<double> best(num_candidates);
   std::vector<std::pair<double, size_t>> exact;
+  StreamingTopC<double> top(num_candidates,
+                            std::numeric_limits<double>::infinity());
   for (size_t i = 0; i < b; ++i) {
     const double* crow = cross.data().data() + i * r;
     const double* norms = partial[i] ? masked_norms.data().data() + i * r
                                      : feature_norms_.data().data();
-    size_t filled = 0;
+    top.Reset();
     for (size_t j = 0; j < r; ++j) {
       const double key = norms[j] - 2.0 * crow[j];
       keys[j] = key;
-      if (filled < num_candidates) {
-        const auto it =
-            std::upper_bound(best.begin(),
-                             best.begin() + static_cast<long>(filled), key);
-        std::copy_backward(it, best.begin() + static_cast<long>(filled),
-                           best.begin() + static_cast<long>(filled) + 1);
-        *it = key;
-        ++filled;
-      } else if (key < best[filled - 1]) {
-        const auto it =
-            std::upper_bound(best.begin(),
-                             best.begin() + static_cast<long>(filled) - 1,
-                             key);
-        std::copy_backward(it, best.begin() + static_cast<long>(filled) - 1,
-                           best.begin() + static_cast<long>(filled));
-        *it = key;
+      top.Push(key);
+    }
+    // With fewer pushes than capacity the boundary stays +inf and every
+    // reference is re-scored — the vacuous (and correct) small-r case.
+    const double boundary = top.worst();
+    const double threshold = boundary + 1e-6 * (1.0 + std::fabs(boundary));
+    const double* src = fingerprints.data().data() + i * d;
+    exact.clear();
+    for (size_t j = 0; j < r; ++j) {
+      if (keys[j] <= threshold) {
+        exact.emplace_back(la::QuerySquaredDistance(src, features_mat_, j),
+                           j);
       }
     }
-    const double boundary = best[filled - 1];
-    const double threshold = boundary + 1e-6 * (1.0 + std::fabs(boundary));
+    out[i] = EstimateFromCandidates(exact);
+  }
+  return out;
+}
+
+std::vector<geom::Point> KnnEstimator::EstimateBatchQuant(
+    const la::Matrix& fingerprints) const {
+  const size_t b = fingerprints.rows();
+  const size_t d = features_mat_.cols();
+  const size_t r = labels_.size();
+  const size_t rp = quant_.padded;
+  RMI_CHECK_EQ(quant_.rows, r);
+
+  // Quantize every query row with the reference side's per-AP parameters:
+  // int8 values (kNull -> 0), a 0/1 observation mask, the integer query
+  // norm over observed dims, and the per-row analytic error bound E.
+  std::vector<int8_t> qvals(b * d), qmask(b * d);
+  std::vector<int32_t> qnorm(b);
+  std::vector<double> qerr(b);
+  std::vector<uint8_t> partial(b, 0);
+  bool any_partial = false;
+  for (size_t i = 0; i < b; ++i) {
+    const double* row = fingerprints.data().data() + i * d;
+    RMI_CHECK(HasObserved(row, d));
+    partial[i] = HasNull(row, d);
+    any_partial |= partial[i] != 0;
+    qnorm[i] = la::QuantizeQueryRow(quant_, row, qvals.data() + i * d,
+                                    qmask.data() + i * d, &qerr[i]);
+  }
+
+  // Integer distance expansion: I(i, j) = |dq_i|^2 + |df_j|^2 - 2 dq.df
+  // over the observed dims (nulls hold dq = 0 and mask = 0, so they drop
+  // out of every term). Exact integer arithmetic — the only information
+  // loss is the quantization itself, which E bounds.
+  std::vector<int32_t> cross(b * rp);
+  la::GemmQuantNN(qvals.data(), quant_.values.data(), cross.data(), b, d, rp);
+  std::vector<int32_t> masked_norms;
+  if (any_partial) {
+    masked_norms.resize(b * rp);
+    la::MaskedQuantRowNorms(qmask.data(), quant_.squares.data(),
+                            masked_norms.data(), b, d, rp);
+  }
+
+  const size_t num_candidates = std::min(r, k_ + std::max<size_t>(k_, 8));
+  std::vector<geom::Point> out(b);
+  std::vector<int32_t> keys(r);
+  std::vector<std::pair<double, size_t>> exact;
+  StreamingTopC<int32_t> top(num_candidates,
+                             std::numeric_limits<int32_t>::max());
+  for (size_t i = 0; i < b; ++i) {
+    const int32_t* crow = cross.data() + i * rp;
+    const int32_t* norms =
+        partial[i] ? masked_norms.data() + i * rp : quant_.norms.data();
+    top.Reset();
+    for (size_t j = 0; j < r; ++j) {
+      const int32_t key = qnorm[i] + norms[j] - 2 * crow[j];
+      keys[j] = key;
+      top.Push(key);
+    }
+    // Candidate band from the quantization bound. With I_c the c-th
+    // smallest integer key and E the per-query bound, every one of those c
+    // rows has true distance <= (s_max sqrt(I_c) + E)^2, so the k-th
+    // smallest true distance does too (k <= c). A row can only belong to
+    // the true top-k if its lower bound s_min sqrt(I_j) - E reaches that
+    // value, i.e. sqrt(I_j) <= (s_max sqrt(I_c) + 2 E) / s_min — rescore
+    // exactly those rows. Conservative slack on the float conversion only
+    // ever widens the band.
+    const int32_t boundary = top.worst();
+    double threshold_sq = std::numeric_limits<double>::infinity();
+    if (boundary != std::numeric_limits<int32_t>::max()) {
+      const double a_c =
+          quant_.max_scale * std::sqrt(static_cast<double>(boundary));
+      const double t = (a_c + 2.0 * qerr[i]) / quant_.min_scale;
+      threshold_sq = t * t * (1.0 + 1e-9) + 1.0;
+    }
+    const int32_t threshold =
+        threshold_sq >= static_cast<double>(std::numeric_limits<int32_t>::max())
+            ? std::numeric_limits<int32_t>::max()
+            : static_cast<int32_t>(threshold_sq);
     const double* src = fingerprints.data().data() + i * d;
     exact.clear();
     for (size_t j = 0; j < r; ++j) {

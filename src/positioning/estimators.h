@@ -19,9 +19,21 @@
 #include "common/rng.h"
 #include "geometry/geometry.h"
 #include "la/matrix.h"
+#include "la/quant.h"
 #include "radiomap/radio_map.h"
 
 namespace rmi::positioning {
+
+/// Which kernel ranks candidates inside KnnEstimator::EstimateBatch. All
+/// three return bit-identical estimates (every path ends in the same exact
+/// rescore over a candidate superset); they trade ranking throughput:
+///  * kGemm   — the reproducible blocked double kernel (reference path);
+///  * kFastNN — relaxed-rounding double kernel, AVX2/AVX-512 dispatch;
+///  * kQuant  — int8 fingerprints, int32 accumulation, analytic
+///              quantization bound widening the rescore band (default:
+///              the fastest — the reference matrix shrinks 8x and ranking
+///              arithmetic is exact integer).
+enum class RankingKernel { kGemm, kFastNN, kQuant };
 
 /// Extracts the labeled (has_rp) rows of an imputed map, in map order:
 /// fingerprints as an R x D matrix plus index-aligned RP labels. Every row
@@ -91,9 +103,11 @@ class KnnEstimator : public LocationEstimator {
   /// partial fingerprints: the cross term zeroes nulls, the reference-norm
   /// term becomes mask x (F o F)^T — a second Gemm). The Gemm pass only
   /// *ranks*; the top candidates — plus every reference within an error
-  /// margin above the selection boundary, so Gemm rounding can never evict
-  /// a true neighbor — are re-scored with the exact scalar distance, and
-  /// results match per-record Estimate bit-for-bit.
+  /// margin above the selection boundary, so Gemm rounding (or, on the
+  /// kQuant kernel, the analytic quantization bound) can never evict a
+  /// true neighbor — are re-scored with the exact scalar distance, and
+  /// results match per-record Estimate bit-for-bit on every
+  /// RankingKernel.
   std::vector<geom::Point> EstimateBatch(
       const la::Matrix& fingerprints) const override;
   /// Distances over observed dimensions only — partial scans are native.
@@ -105,6 +119,14 @@ class KnnEstimator : public LocationEstimator {
 
   size_t k() const { return k_; }
   bool weighted() const { return weighted_; }
+  /// Ranking-kernel selection for EstimateBatch (answers are bit-identical
+  /// across kernels; see RankingKernel). May be changed between batches on
+  /// a fitted estimator, but not concurrently with queries.
+  void set_ranking_kernel(RankingKernel kernel) { kernel_ = kernel; }
+  RankingKernel ranking_kernel() const { return kernel_; }
+  /// The int8 ranking copy built by Fit — the serving snapshot exposes it
+  /// as the quantized fingerprint view.
+  const la::QuantizedRefs& quantized() const { return quant_; }
   /// Fitted reference fingerprints as an R x D matrix (row r aligned with
   /// labels()[r]) — the serving layer builds its snapshot views from these.
   const la::Matrix& features() const { return features_mat_; }
@@ -118,8 +140,16 @@ class KnnEstimator : public LocationEstimator {
       std::vector<std::pair<double, size_t>> candidates) const;
 
  private:
+  /// The int8 ranking path: integer cross Gemm (+ masked-norm Gemm for
+  /// partial rows), integer keys, branchless top-c, then the candidate
+  /// band widened by the analytic quantization bound and re-scored
+  /// exactly — see EstimateBatch's contract.
+  std::vector<geom::Point> EstimateBatchQuant(
+      const la::Matrix& fingerprints) const;
+
   size_t k_;
   bool weighted_;
+  RankingKernel kernel_ = RankingKernel::kQuant;
   std::vector<geom::Point> labels_;
   /// Fitted reference state. The transposed copies let the batched path
   /// run its two Gemms through the no-transpose kernel (cache-blocked and
@@ -129,6 +159,9 @@ class KnnEstimator : public LocationEstimator {
   la::Matrix features_t_;      ///< D x R
   la::Matrix features_sq_t_;   ///< D x R, elementwise squared
   la::Matrix feature_norms_;   ///< R x 1 row norms
+  /// Int8 ranking copy (per-AP scale/zero-point, SoA, padded) for the
+  /// kQuant kernel; the float members above stay the rescore master.
+  la::QuantizedRefs quant_;
 };
 
 /// Random-forest regression (CART trees, bagging, feature subsampling,

@@ -11,13 +11,24 @@
 
 namespace rmi::serving {
 
+namespace {
+
+std::exception_ptr StoppedError() {
+  return std::make_exception_ptr(
+      std::runtime_error("LocalizationServer is stopped"));
+}
+
+}  // namespace
+
 LocalizationServer::LocalizationServer(const MapSnapshotStore* store,
                                        const ServerOptions& options)
     : store_(store),
       options_(options),
+      queue_(options.queue_capacity),
       pool_(std::max<size_t>(1, options.num_workers)) {
   RMI_CHECK(store_ != nullptr);
   RMI_CHECK_GT(options_.max_batch, 0u);
+  RMI_CHECK_GT(options_.queue_capacity, 0u);
   // The launcher owns the pool fan-out: ParallelFor(num_workers) hands each
   // pool worker exactly one DispatchLoop index and blocks (as worker 0, in
   // its own loop) until shutdown drains them all.
@@ -33,61 +44,142 @@ LocalizationServer::~LocalizationServer() { Stop(); }
 
 std::future<geom::Point> LocalizationServer::Submit(
     std::vector<double> fingerprint) {
+  // Entry/exit bracket Stop's drain handshake (see inflight_submits_).
+  struct InflightGuard {
+    std::atomic<size_t>& counter;
+    ~InflightGuard() { counter.fetch_sub(1, std::memory_order_release); }
+  };
+  inflight_submits_.fetch_add(1, std::memory_order_seq_cst);
+  InflightGuard guard{inflight_submits_};
+
   Request request;
   request.fingerprint = std::move(fingerprint);
   std::future<geom::Point> future = request.promise.get_future();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) {
+  // Lock-free fast path: one TryPush. A full ring is backpressure — yield
+  // until a dispatcher frees a cell (bounded memory under overload beats
+  // an unbounded queue that hides it). Shutdown rejects rather than
+  // blocks, here and inside the backpressure loop.
+  while (true) {
+    if (shutdown_.load(std::memory_order_acquire)) {
       // A Submit racing a Stop is a benign shutdown condition, not a
       // programming error: reject just this request.
-      request.promise.set_exception(std::make_exception_ptr(
-          std::runtime_error("LocalizationServer is stopped")));
+      request.promise.set_exception(StoppedError());
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
       ++rejected_;
       return future;
     }
-    queue_.push_back(std::move(request));
+    if (queue_.TryPush(std::move(request))) break;
+    std::this_thread::yield();
   }
-  cv_.notify_one();
+  // Wake a parked dispatcher. The seq_cst fence orders our enqueue before
+  // the sleepers_ read against the dispatcher's sleepers_ increment before
+  // its empty-check: at least one side sees the other, so a request can
+  // never be enqueued into a ring every dispatcher has decided is empty.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_relaxed) > 0) {
+    {
+      // An empty critical section serializes with the window between a
+      // parking dispatcher's final check and its cv wait.
+      std::lock_guard<std::mutex> lock(park_mu_);
+    }
+    park_cv_.notify_one();
+  }
   return future;
 }
 
 void LocalizationServer::Stop() {
+  shutdown_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
+    std::lock_guard<std::mutex> lock(park_mu_);
   }
-  cv_.notify_all();
+  park_cv_.notify_all();
   if (launcher_.joinable()) launcher_.join();
+  // Dispatchers have exited. Wait out Submits that entered before the flag
+  // flipped (they either pushed already or are about to reject
+  // themselves), then reject anything that slipped into the ring after the
+  // drain — a promise must never be dropped unfulfilled.
+  while (inflight_submits_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  Request request;
+  size_t swept = 0;
+  while (queue_.TryPop(&request)) {
+    request.promise.set_exception(StoppedError());
+    ++swept;
+  }
+  if (swept > 0) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    rejected_ += swept;
+  }
+}
+
+void LocalizationServer::ParkForWork(double max_park_us) {
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  // Dekker handshake, dispatcher side: the seq_cst fence orders our
+  // sleepers_ increment before the emptiness re-check below against
+  // Submit's enqueue-then-fence-then-read-sleepers sequence. In the
+  // seq_cst total order at least one side sees the other — either we see
+  // the ring non-empty and skip the wait, or the submitter sees
+  // sleepers_ > 0 and rings the condvar. The RMW alone would not order
+  // our later plain loads; the explicit fence does.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> lock(park_mu_);
+    // The notify serializes with this critical section (Submit takes
+    // park_mu_ before notifying), so it cannot fire between this check
+    // and the wait.
+    if (queue_.ApproxEmpty() && !shutdown_.load(std::memory_order_acquire)) {
+      park_cv_.wait_for(
+          lock, std::chrono::duration<double, std::micro>(max_park_us));
+    }
+  }
+  sleepers_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool LocalizationServer::WaitForWork() {
+  while (queue_.ApproxEmpty()) {
+    if (shutdown_.load(std::memory_order_acquire)) {
+      // Drained and shutting down (producers are rejected once the flag
+      // is up, so no new cell can appear after this check... except a
+      // Submit that lost the race, which Stop sweeps after joining us).
+      return false;
+    }
+    // The bound caps how long an idle dispatcher stays down if an OS-level
+    // wakeup anomaly eats a notify; the handshake above makes a *lost*
+    // wakeup impossible, so this is defense in depth, not load-bearing.
+    ParkForWork(/*max_park_us=*/50000.0);
+  }
+  return true;
 }
 
 void LocalizationServer::DispatchLoop() {
   std::vector<Request> batch;
+  Request request;
   while (true) {
     batch.clear();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown and fully drained
-      if (queue_.size() < options_.max_batch && !shutdown_) {
-        // Coalescing window: trade a bounded latency bump for fuller
-        // batches (more rows per Gemm).
-        cv_.wait_for(
-            lock,
-            std::chrono::duration<double, std::micro>(options_.max_wait_us),
-            [this] {
-              return shutdown_ || queue_.size() >= options_.max_batch;
-            });
-      }
-      const size_t take = std::min(options_.max_batch, queue_.size());
-      batch.reserve(take);
-      for (size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
+    // Block for the first request of the next batch.
+    while (!queue_.TryPop(&request)) {
+      if (!WaitForWork()) return;
     }
-    if (!batch.empty()) ProcessBatch(&batch);
+    batch.push_back(std::move(request));
+    // Coalescing window: trade a bounded latency bump for fuller batches
+    // (more rows per Gemm). Pop whatever is there; once the ring runs
+    // dry, park for the window's remainder (a Submit wakes us early)
+    // rather than spinning it away.
+    Timer window;
+    while (batch.size() < options_.max_batch) {
+      if (queue_.TryPop(&request)) {
+        batch.push_back(std::move(request));
+        continue;
+      }
+      const double remaining_us =
+          options_.max_wait_us - window.ElapsedSeconds() * 1e6;
+      if (shutdown_.load(std::memory_order_acquire) || remaining_us <= 0.0) {
+        break;
+      }
+      ParkForWork(remaining_us);
+    }
+    ProcessBatch(&batch);
   }
 }
 

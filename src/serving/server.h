@@ -3,25 +3,31 @@
 // snapshot per batch, and answer every row with a single batched estimator
 // pass (one Gemm for the KNN family).
 //
-// Threading: Submit is called from any number of client threads; the
-// dispatch loops run as one ParallelFor of `num_workers` indices on a
-// common/thread_pool.h pool (worker 0 of that pool is a dedicated launcher
-// thread, so Submit never blocks on dispatch work). Each loop sleeps on the
-// queue condition variable, takes up to max_batch requests — waiting at
-// most max_wait_us for stragglers to coalesce — and fulfills the requests'
-// promises. Per-request latency (enqueue -> fulfill) feeds the p50/p95/p99
-// stats.
+// Threading: Submit is called from any number of client threads and runs
+// lock-free — requests land in a bounded MPMC ring (common/mpmc_queue.h),
+// so producers never serialize on a queue mutex and a preempted producer
+// only delays its own cell. The dispatch loops run as one ParallelFor of
+// `num_workers` indices on a common/thread_pool.h pool (worker 0 of that
+// pool is a dedicated launcher thread, so Submit never blocks on dispatch
+// work). Each loop pops up to max_batch requests — waiting at most
+// max_wait_us for stragglers to coalesce — and fulfills the requests'
+// promises. A condition variable exists only for *idle parking*: a
+// dispatcher that finds the ring empty parks on it, and Submit wakes it
+// through a seq_cst sleeper-count handshake (the hot path with awake
+// dispatchers never touches the mutex). Per-request latency (enqueue ->
+// fulfill) feeds the p50/p95/p99 stats.
 #ifndef RMI_SERVING_SERVER_H_
 #define RMI_SERVING_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mpmc_queue.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "geometry/geometry.h"
@@ -39,6 +45,10 @@ struct ServerOptions {
   /// Dispatcher loops (each runs whole batches; >1 overlaps Gemm time of
   /// one batch with queueing of the next).
   size_t num_workers = 2;
+  /// Submit-ring capacity (rounded up to a power of two). A full ring is
+  /// backpressure: Submit yields until a dispatcher frees a cell — bounded
+  /// memory under overload instead of an ever-growing queue.
+  size_t queue_capacity = 4096;
 };
 
 struct ServerStats {
@@ -98,14 +108,33 @@ class LocalizationServer {
 
   void DispatchLoop();
   void ProcessBatch(std::vector<Request>* batch);
+  /// Parks this dispatcher on the condvar for at most `max_park_us`,
+  /// with the sleeper handshake that makes a lost wakeup impossible
+  /// (a Submit lands either before our emptiness re-check or after our
+  /// sleeper registration — never between both).
+  void ParkForWork(double max_park_us);
+  /// Blocks until the ring is non-empty or shutdown. Returns false iff the
+  /// server is shutting down and the ring is drained.
+  bool WaitForWork();
 
   const MapSnapshotStore* store_;
   const ServerOptions options_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  bool shutdown_ = false;
+  /// Lock-free submit path: producers and dispatchers meet only in the
+  /// ring. The mutex/condvar pair below is *parking only* — dispatchers
+  /// sleep there when the ring stays empty, and Submit wakes them via the
+  /// sleepers_ handshake (seq_cst on both sides, so an enqueue and a
+  /// park decision can never miss each other).
+  MpmcRingQueue<Request> queue_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<size_t> sleepers_{0};
+  /// Submits currently between entry and return. Stop waits for this to
+  /// reach zero after joining the dispatchers, so its final ring sweep
+  /// provably sees every request a racing Submit managed to push — a
+  /// promise is never dropped unfulfilled.
+  std::atomic<size_t> inflight_submits_{0};
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
 
   /// Latency samples are kept in a fixed-size ring (a long-lived server
   /// must not grow per-request state without bound); counters are totals.

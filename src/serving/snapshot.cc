@@ -29,6 +29,8 @@ uint64_t MapSnapshot::ComputeChecksum() const {
   h = Mix(h, static_cast<uint64_t>(positions.size()));
   h = Mix(h, static_cast<uint64_t>(index.num_cells()));
   h = Mix(h, estimator == nullptr ? 0 : 1);
+  // The quantized ranking copy must describe the same reference set.
+  h = Mix(h, quantized == nullptr ? 0 : quantized->rows + 1);
   // Sample a few fingerprint cells so a swapped-out matrix is detected
   // without hashing the whole map on every integrity check.
   const size_t n = refs.size();
@@ -54,14 +56,19 @@ std::shared_ptr<const MapSnapshot> BuildSnapshot(
   auto snapshot = std::make_shared<MapSnapshot>();
   snapshot->version = options.version;
 
+  if (auto* knn =
+          dynamic_cast<positioning::KnnEstimator*>(estimator.get())) {
+    knn->set_ranking_kernel(options.ranking_kernel);
+  }
   estimator->Fit(imputed_map, rng);
   snapshot->estimator = std::move(estimator);
   if (const auto* knn = dynamic_cast<const positioning::KnnEstimator*>(
           snapshot->estimator.get())) {
     // KNN family: alias the fitted state itself — no second copy, and the
     // index row ids line up with the estimator's candidate indices by
-    // construction.
+    // construction. The quantized ranking copy aliases the same fit.
     snapshot->fingerprint_view = &knn->features();
+    snapshot->quantized = &knn->quantized();
     snapshot->positions = knn->labels();
   } else {
     // The one shared extraction rule (labeled rows, map order).

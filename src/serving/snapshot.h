@@ -38,6 +38,12 @@ struct MapSnapshot {
   const la::Matrix& fingerprints() const { return *fingerprint_view; }
   const la::Matrix* fingerprint_view = nullptr;
   la::Matrix owned_fingerprints;
+  /// Int8-quantized, padded/SoA ranking copy of the reference matrix
+  /// (per-AP scale/zero-point), or nullptr for estimators without one.
+  /// Like fingerprint_view it *aliases* the fitted KNN estimator's state —
+  /// the float matrix above stays the exact-rescore master, this is the
+  /// 8x-smaller copy the kQuant ranking kernel streams.
+  const la::QuantizedRefs* quantized = nullptr;
   std::vector<geom::Point> positions;
   /// Location-grid pruning index over (fingerprints, positions).
   SpatialIndex index;
@@ -59,6 +65,10 @@ struct SnapshotOptions {
   uint64_t version = 0;
   /// Spatial-index grid pitch, meters.
   double cell_size_m = 6.0;
+  /// Ranking kernel for the KNN family's EstimateBatch (ignored by other
+  /// estimators). Answers are bit-identical across kernels; this is a
+  /// throughput knob, and the benches sweep it.
+  positioning::RankingKernel ranking_kernel = positioning::RankingKernel::kQuant;
 };
 
 /// Freezes `imputed_map` (complete, labeled rows) + a *not yet fitted*

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
+#include <limits>
 
 #include "common/check.h"
 #include "common/missing.h"
+#include "common/topc.h"
 #include "la/kernels.h"
 
 namespace rmi::serving {
@@ -113,11 +114,16 @@ size_t SpatialIndex::last_scored() { return LastScoredSlot(); }
 std::vector<Neighbor> SpatialIndex::Search(const la::Matrix& refs,
                                            const std::vector<double>& query,
                                            size_t k) const {
-  RMI_CHECK(!cells_.empty());
   RMI_CHECK_EQ(refs.rows(), num_refs_);
-  RMI_CHECK_EQ(refs.cols(), dim_);
   RMI_CHECK_EQ(query.size(), dim_);
+  // Boundary contracts (matching BruteForceKnn): an empty index or k == 0
+  // has nothing to return; k >= num_refs degrades to scoring every row.
   const size_t take = std::min(k, num_refs_);
+  if (take == 0) {
+    LastScoredSlot() = 0;
+    return {};
+  }
+  RMI_CHECK_EQ(refs.cols(), dim_);
 
   // Cells in increasing lower bound.
   std::vector<std::pair<double, size_t>> order;  // (lb^2, cell)
@@ -135,34 +141,26 @@ std::vector<Neighbor> SpatialIndex::Search(const la::Matrix& refs,
   }
   std::sort(order.begin(), order.end());
 
-  // Max-heap of the current best `take` by (distance, index) pair order;
-  // top() is the worst retained candidate.
-  std::priority_queue<Neighbor> best;
+  // Streaming best-`take` by (distance, index) pair order, kept in a
+  // sorted sentinel-filled buffer (branchless bubble insert — cheaper than
+  // a heap at KNN-sized k); worst() is the retained-candidate boundary,
+  // +inf until `take` rows have been scored (which disables pruning, as
+  // the half-full heap did).
+  StreamingTopC<Neighbor> best(
+      take, Neighbor(std::numeric_limits<double>::infinity(),
+                     std::numeric_limits<size_t>::max()));
   size_t scored = 0;
   for (const auto& [lb_sq, c] : order) {
-    if (best.size() == take &&
-        lb_sq > best.top().first * (1.0 + kPruneSlack) + kPruneSlack) {
+    if (lb_sq > best.worst().first * (1.0 + kPruneSlack) + kPruneSlack) {
       break;  // sorted: no later cell can beat the worst retained candidate
     }
     for (size_t m : cells_[c].members) {
-      const Neighbor cand(QuerySquaredDistance(query, refs, m), m);
+      best.Push(Neighbor(QuerySquaredDistance(query, refs, m), m));
       ++scored;
-      if (best.size() < take) {
-        best.push(cand);
-      } else if (cand < best.top()) {
-        best.pop();
-        best.push(cand);
-      }
     }
   }
   LastScoredSlot() = scored;
-
-  std::vector<Neighbor> result(best.size());
-  for (size_t i = result.size(); i-- > 0;) {
-    result[i] = best.top();
-    best.pop();
-  }
-  return result;
+  return best.Take();
 }
 
 }  // namespace rmi::serving

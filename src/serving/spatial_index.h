@@ -58,7 +58,10 @@ class SpatialIndex {
              double cell_size_m);
 
   /// Exact KNN of `query` (kNull entries allowed), identical to
-  /// BruteForceKnn(refs, query, k). `refs` must be the matrix Build saw.
+  /// BruteForceKnn(refs, query, k) — including at the boundaries: k >=
+  /// the reference count returns every row ascending by (distance, index),
+  /// and k == 0 or an empty index returns an empty set. `refs` must be the
+  /// matrix Build saw.
   std::vector<Neighbor> Search(const la::Matrix& refs,
                                const std::vector<double>& query,
                                size_t k) const;

@@ -173,6 +173,88 @@ TEST(SpatialIndexTest, SearchEqualsBruteForceExactly) {
   EXPECT_LT(SpatialIndex::last_scored(), n);
 }
 
+TEST(SpatialIndexTest, BoundaryContractsMatchBruteForce) {
+  const auto map = MakeServingMap(6, 5, 8);
+  const size_t n = map.size();
+  la::Matrix refs(n, map.num_aps());
+  std::vector<geom::Point> positions;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < map.num_aps(); ++j) {
+      refs(i, j) = map.record(i).rssi[j];
+    }
+    positions.push_back(map.record(i).rp);
+  }
+  SpatialIndex index;
+  index.Build(refs, positions, 3.0);
+  const std::vector<double> q = RowOf(MakeQueries(map, 1, 0.0, 61), 0);
+
+  // k == 0: nothing to return (and no crash).
+  EXPECT_TRUE(index.Search(refs, q, 0).empty());
+  EXPECT_TRUE(BruteForceKnn(refs, q, 0).empty());
+
+  // k == n and k > n: every row, ascending by (distance, index).
+  for (size_t k : {n, n + 7}) {
+    const auto got = index.Search(refs, q, k);
+    const auto want = BruteForceKnn(refs, q, k);
+    ASSERT_EQ(got.size(), n);
+    ASSERT_EQ(want.size(), n);
+    for (size_t t = 0; t < n; ++t) {
+      EXPECT_EQ(got[t].first, want[t].first) << "k=" << k << " t=" << t;
+      EXPECT_EQ(got[t].second, want[t].second) << "k=" << k << " t=" << t;
+    }
+  }
+}
+
+TEST(SpatialIndexTest, ExactTiesBreakByIndexLikeBruteForce) {
+  // Duplicated fingerprint rows force exact distance ties; the pruned
+  // search must return the same (distance, index) order as brute force.
+  const size_t d = 5;
+  la::Matrix refs(6, d);
+  std::vector<geom::Point> positions;
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      refs(i, j) = -40.0 - 10.0 * double(i % 2) - 2.0 * double(j);
+    }
+    positions.emplace_back(double(i), double(i) * 0.5);
+  }
+  SpatialIndex index;
+  index.Build(refs, positions, 1.0);
+  std::vector<double> q(d, -45.0);
+  for (size_t k : {1u, 3u, 6u}) {
+    const auto got = index.Search(refs, q, k);
+    const auto want = BruteForceKnn(refs, q, k);
+    ASSERT_EQ(got.size(), want.size()) << "k=" << k;
+    for (size_t t = 0; t < want.size(); ++t) {
+      EXPECT_EQ(got[t].first, want[t].first) << "k=" << k << " t=" << t;
+      EXPECT_EQ(got[t].second, want[t].second) << "k=" << k << " t=" << t;
+    }
+  }
+}
+
+TEST(SpatialIndexTest, EmptyIndexReturnsNothing) {
+  SpatialIndex index;
+  la::Matrix refs(0, 4);
+  index.Build(refs, {}, 2.0);
+  EXPECT_TRUE(index.empty());
+  const std::vector<double> q(4, -50.0);
+  EXPECT_TRUE(index.Search(refs, q, 3).empty());
+}
+
+TEST(EstimateBatchTest, AllNullRowAbortsWithDiagnostic) {
+  // Contract: an all-null row has no distance signal; EstimateBatch
+  // asserts rather than silently decaying. The serving layer filters such
+  // rows per request *before* batching (RejectsMalformedRequests covers
+  // that path), so an all-null row reaching the estimator is a bug.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto map = MakeServingMap(6, 5, 7);
+  Rng rng(13);
+  positioning::KnnEstimator knn(3, false);
+  knn.Fit(map, rng);
+  la::Matrix queries = MakeQueries(map, 2, 0.0, 71);
+  for (size_t j = 0; j < queries.cols(); ++j) queries(1, j) = kNull;
+  EXPECT_DEATH(knn.EstimateBatch(queries), "RMI_CHECK");
+}
+
 TEST(SnapshotTest, BuildFitsEstimatorAndStampsChecksum) {
   const auto map = MakeServingMap(12, 9, 10);
   Rng rng(9);
@@ -341,6 +423,43 @@ TEST(LocalizationServerTest, RejectsMalformedRequestsWithoutCrashing) {
   EXPECT_THROW(rf_partial.get(), std::runtime_error);
   EXPECT_NO_THROW(rf_server.Localize(q));
   rf_server.Stop();
+}
+
+TEST(LocalizationServerTest, TinyRingBackpressuresInsteadOfDropping) {
+  // A ring far smaller than the offered load: Submits must backpressure
+  // (yield) until dispatchers drain cells, and every request must still be
+  // answered — bounded memory, no drops, no deadlock.
+  const auto map = MakeServingMap(10, 8, 8);
+  Rng rng(37);
+  auto snap = BuildSnapshot(
+      map, std::make_unique<positioning::KnnEstimator>(3, true), rng);
+  MapSnapshotStore store(snap);
+  ServerOptions opt;
+  opt.max_batch = 4;
+  opt.max_wait_us = 50.0;
+  opt.num_workers = 2;
+  opt.queue_capacity = 8;
+  LocalizationServer server(&store, opt);
+
+  const la::Matrix queries = MakeQueries(map, 16, 0.1, 83);
+  const size_t kClients = 4, kPerClient = 64;
+  std::atomic<size_t> answered{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        const geom::Point p =
+            server.Localize(RowOf(queries, (c * kPerClient + i) % 16));
+        if (std::isfinite(p.x) && std::isfinite(p.y)) {
+          answered.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Stop();
+  EXPECT_EQ(answered.load(), kClients * kPerClient);
+  EXPECT_EQ(server.Stats().completed, kClients * kPerClient);
 }
 
 TEST(LocalizationServerTest, ServesDuringHotSwap) {

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the serving benches.
+
+Compares freshly produced BENCH_serving.json / BENCH_sharded.json against
+the committed baselines in bench/baselines/ and fails when any throughput
+metric regresses by more than the allowed fraction (default 15%).
+
+Only qps-style metrics gate (higher is better); latency percentiles and
+accuracy numbers are printed as non-gating context — they are far noisier
+on shared CI runners, and a real latency cliff always shows up as a qps
+drop on these closed-loop benches.
+
+Caveat for heterogeneous CI fleets: the baselines are absolute qps from
+the machine that recorded them. Runners of a different hardware class
+(slower cores, AVX2-only vs AVX-512) shift every metric together and can
+trip the gate without a real regression — either refresh the baselines
+from the CI runner class, or loosen the floor via --max-regression /
+the BENCH_GATE_MAX_REGRESSION env knob in ci.yml.
+
+Usage:
+    python3 tools/check_bench_regression.py \
+        [--fresh-dir build] [--baseline-dir bench/baselines] \
+        [--max-regression 0.15]
+
+Refreshing baselines after an intentional perf change:
+    ./build/bench_serving_throughput --smoke &&
+    ./build/bench_sharded_serving --smoke &&
+    cp build/BENCH_serving.json bench/baselines/serving.json &&
+    cp build/BENCH_sharded.json bench/baselines/sharded.json
+"""
+import argparse
+import json
+import pathlib
+import sys
+
+# (fresh file, baseline file, gated qps keys, context-only keys — dotted
+# paths into the JSON). Context keys are printed for the CI log but never
+# gate.
+BENCHES = [
+    (
+        "BENCH_serving.json",
+        "serving.json",
+        [
+            "scalar_qps",
+            "batch_qps",
+            "partial_batch_qps",
+            "index_pruned_qps",
+            "server.qps",
+            "kernels.gemm",
+            "kernels.fastnn",
+            "kernels.quant",
+        ],
+        ["server.p50_us", "server.p95_us", "server.p99_us"],
+    ),
+    (
+        "BENCH_sharded.json",
+        "sharded.json",
+        [
+            "routed_qps",
+            "baseline_qps",
+        ],
+        ["update_scenario.stale_ape_m", "update_scenario.updated_ape_m"],
+    ),
+]
+
+
+def lookup(doc, dotted):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh-dir", default="build")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.15,
+        help="largest tolerated fractional qps drop vs baseline",
+    )
+    args = parser.parse_args()
+
+    fresh_dir = pathlib.Path(args.fresh_dir)
+    baseline_dir = pathlib.Path(args.baseline_dir)
+    floor = 1.0 - args.max_regression
+
+    failures = []
+    for fresh_name, baseline_name, keys, context_keys in BENCHES:
+        fresh_path = fresh_dir / fresh_name
+        baseline_path = baseline_dir / baseline_name
+        if not baseline_path.exists():
+            print(f"[gate] no baseline {baseline_path} — skipping {fresh_name}")
+            continue
+        if not fresh_path.exists():
+            failures.append(f"{fresh_path} missing (bench did not run?)")
+            continue
+        fresh = json.loads(fresh_path.read_text())
+        baseline = json.loads(baseline_path.read_text())
+        print(f"[gate] {fresh_name} vs {baseline_path}")
+        for key in keys:
+            base_value = lookup(baseline, key)
+            if base_value is None:
+                # Baselines predating a metric don't gate it; the next
+                # baseline refresh picks it up.
+                print(f"  {key:24s} (no baseline value — skipped)")
+                continue
+            fresh_value = lookup(fresh, key)
+            if fresh_value is None:
+                failures.append(f"{fresh_name}: metric {key} disappeared")
+                continue
+            ratio = fresh_value / base_value if base_value > 0 else float("inf")
+            verdict = "ok" if ratio >= floor else "REGRESSION"
+            print(
+                f"  {key:24s} {fresh_value:12.1f} / {base_value:12.1f}"
+                f"  ({ratio:6.2f}x)  {verdict}"
+            )
+            if ratio < floor:
+                failures.append(
+                    f"{fresh_name}: {key} fell to {ratio:.2f}x of baseline "
+                    f"({fresh_value:.1f} vs {base_value:.1f}, floor {floor:.2f}x)"
+                )
+        for key in context_keys:
+            fresh_value = lookup(fresh, key)
+            base_value = lookup(baseline, key)
+            if fresh_value is None:
+                continue
+            base_text = f"{base_value:12.1f}" if base_value is not None else "           -"
+            print(f"  {key:24s} {fresh_value:12.1f} / {base_text}  (context only)")
+
+    if failures:
+        print("\n[gate] FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\n[gate] all gated metrics within "
+          f"{args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
