@@ -1,0 +1,330 @@
+// Snapshot-refresh latency under churn: how long does a shard serve stale
+// data after fresh observations arrive? Replays rounds of delta batches
+// into serving::MapUpdater and measures the deltas -> publish latency per
+// (shard, round) plus the sampled staleness of the fleet while rebuilds
+// are pending, across the rebuild-path configurations the PR compares:
+//
+//   * serialized + cold      — one rebuild thread, full re-impute (the
+//                              pre-PR-5 path; Table VII's offline costs
+//                              replayed online)
+//   * parallel   + cold      — bounded rebuild pool, full re-impute
+//   * parallel   + incremental — pool + dirty-row propagation/warm start
+//
+// for 1 shard and for an 8-shard venue.
+//
+//   ./bench_rebuild_latency            # full sizes, console table
+//   ./bench_rebuild_latency --smoke    # CI sizes + BENCH_rebuild.json
+//   ./bench_rebuild_latency --json=out.json
+//
+// Emits BENCH_rebuild.json (schema in docs/REPRODUCE.md). The headline
+// acceptance number is speedup_p95 of eight_shard.parallel_incremental
+// vs eight_shard.serialized_cold (target: >= 3x).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clustering/differentiation.h"
+#include "common/missing.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "imputers/autocorrelation.h"
+#include "positioning/estimators.h"
+#include "serving/map_updater.h"
+#include "serving/shard_router.h"
+#include "serving/synthetic.h"
+
+namespace {
+
+using namespace rmi;
+
+struct ChurnConfig {
+  size_t num_shards = 8;
+  size_t nx = 20, ny = 12;       // reference grid per shard
+  // MICE's chained solve scales with D^3: 20 APs keeps a cold rebuild in
+  // the tens-of-milliseconds range, so the measured latencies dominate OS
+  // scheduling jitter (this bench runs on single-core CI boxes too).
+  size_t aps_per_floor = 20;
+  size_t rounds = 6;             // delta batches per shard
+  size_t batch = 8;              // observations per batch (= volume trigger)
+  size_t rebuild_threads = 1;
+  bool incremental = false;
+  uint64_t seed = 29;
+};
+
+struct ChurnResult {
+  std::vector<double> latencies_ms;  // one per (shard, round)
+  double p50_ms = 0.0, p95_ms = 0.0, max_ms = 0.0;
+  double mean_staleness_ms = 0.0;    // sampled age of pending shards
+  double elapsed_s = 0.0;
+  size_t publishes = 0;
+  double publishes_per_sec = 0.0;
+  /// Final-round phase telemetry, averaged across shards (RebuildStats
+  /// keeps only the last rebuild's breakdown per shard).
+  double last_impute_ms = 0.0;
+  double last_queue_wait_ms = 0.0;
+  size_t warm_rebuilds = 0;
+};
+
+double PercentileOrZero(const std::vector<double>& v, double p) {
+  return v.empty() ? 0.0 : Percentile(v, p);  // common/stats.h, p in [0,100]
+}
+
+/// Replays `rounds` delta batches into a fresh updater and measures the
+/// wall-clock from each shard's batch completion to the matching publish.
+ChurnResult RunChurn(const ChurnConfig& cfg) {
+  std::vector<rmap::RadioMap> maps;
+  std::vector<rmap::ShardId> ids;
+  for (size_t s = 0; s < cfg.num_shards; ++s) {
+    ids.push_back(rmap::ShardId{int32_t(s / 4), int32_t(s % 4)});
+    maps.push_back(serving::MakeSyntheticServingMap(
+        cfg.nx, cfg.ny, cfg.aps_per_floor, cfg.seed + s));
+  }
+
+  serving::ShardedSnapshotStore store;
+  cluster::MarOnlyDifferentiator differentiator;
+  imputers::MiceImputer imputer;
+  serving::MapUpdaterOptions uopt;
+  uopt.min_new_observations = cfg.batch;
+  uopt.poll_interval_ms = 0.5;
+  uopt.rebuild_threads = cfg.rebuild_threads;
+  uopt.incremental = cfg.incremental;
+  uopt.dirty_neighbors = 4;
+  uopt.seed = cfg.seed;
+  serving::MapUpdater updater(
+      &store, &differentiator, &imputer,
+      [] { return std::make_unique<positioning::KnnEstimator>(3, true); },
+      uopt);
+  for (size_t s = 0; s < cfg.num_shards; ++s) {
+    updater.RegisterShard(ids[s], maps[s]);
+  }
+  updater.Start();
+
+  // Staleness sampler: while any shard has pending deltas, its served
+  // snapshot is older than the data the venue has already reported; the
+  // sampled mean of that age is the "staleness under churn".
+  Timer run_timer;
+  std::vector<std::atomic<double>> batch_ready(cfg.num_shards);
+  for (auto& b : batch_ready) b.store(-1.0);
+  std::atomic<bool> stop_sampler{false};
+  std::atomic<uint64_t> staleness_samples{0};
+  std::atomic<double> staleness_sum_ms{0.0};
+  std::thread sampler([&] {
+    while (!stop_sampler.load(std::memory_order_relaxed)) {
+      const double now = run_timer.ElapsedSeconds();
+      for (size_t s = 0; s < cfg.num_shards; ++s) {
+        const double ready = batch_ready[s].load(std::memory_order_relaxed);
+        if (ready < 0.0) continue;  // no batch pending for this shard
+        double expected = staleness_sum_ms.load(std::memory_order_relaxed);
+        const double add = (now - ready) * 1e3;
+        while (!staleness_sum_ms.compare_exchange_weak(expected,
+                                                       expected + add)) {
+        }
+        staleness_samples.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  ChurnResult result;
+  Rng rng(cfg.seed + 1000);
+  for (size_t round = 0; round < cfg.rounds; ++round) {
+    // Ingest one trigger batch into every shard back-to-back — the
+    // all-shards-tripped burst that exposes rebuild serialization.
+    std::vector<uint64_t> want_version(cfg.num_shards);
+    for (size_t s = 0; s < cfg.num_shards; ++s) {
+      want_version[s] = store.Current(ids[s])->version + 1;
+      const rmap::RadioMap& truth = maps[s];
+      for (size_t i = 0; i < cfg.batch; ++i) {
+        rmap::Record obs = truth.record(rng.Index(truth.size()));
+        obs.id = rmap::Record::kUnassignedId;
+        obs.time += double((round + 1) * truth.size());
+        for (double& v : obs.rssi) {
+          if (rng.Bernoulli(0.25)) v = kNull;
+        }
+        if (obs.NumObserved() == 0) obs.rssi[0] = -70.0;
+        if (rng.Bernoulli(0.3)) {
+          obs.has_rp = false;
+          obs.rp = geom::Point{};
+        }
+        updater.Ingest(ids[s], std::move(obs));
+      }
+      batch_ready[s].store(run_timer.ElapsedSeconds(),
+                           std::memory_order_relaxed);
+    }
+    // Poll every shard's published version; latency = batch-ready ->
+    // publish observed (0.2 ms poll granularity).
+    std::vector<bool> done(cfg.num_shards, false);
+    size_t remaining = cfg.num_shards;
+    Timer guard;
+    while (remaining > 0) {
+      for (size_t s = 0; s < cfg.num_shards; ++s) {
+        if (done[s]) continue;
+        if (store.Current(ids[s])->version >= want_version[s]) {
+          const double ready = batch_ready[s].load();
+          result.latencies_ms.push_back(
+              (run_timer.ElapsedSeconds() - ready) * 1e3);
+          batch_ready[s].store(-1.0, std::memory_order_relaxed);
+          done[s] = true;
+          --remaining;
+        }
+      }
+      if (guard.ElapsedSeconds() > 120.0) {
+        std::fprintf(stderr, "rebuild stalled: %zu shards pending\n",
+                     remaining);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  result.elapsed_s = run_timer.ElapsedSeconds();
+  stop_sampler.store(true);
+  sampler.join();
+  updater.Stop();
+
+  result.p50_ms = PercentileOrZero(result.latencies_ms, 50.0);
+  result.p95_ms = PercentileOrZero(result.latencies_ms, 95.0);
+  result.max_ms = PercentileOrZero(result.latencies_ms, 100.0);
+  result.publishes = result.latencies_ms.size();
+  result.publishes_per_sec =
+      result.elapsed_s > 0 ? double(result.publishes) / result.elapsed_s : 0.0;
+  const uint64_t samples = staleness_samples.load();
+  result.mean_staleness_ms =
+      samples > 0 ? staleness_sum_ms.load() / double(samples) : 0.0;
+  const serving::MapUpdaterStats stats = updater.Stats();
+  double impute = 0.0, queue = 0.0;
+  for (const auto& [id, shard] : stats.per_shard) {
+    impute += shard.last_impute_seconds;
+    queue += shard.last_queue_wait_seconds;
+    result.warm_rebuilds += shard.warm;
+  }
+  result.last_impute_ms = 1e3 * impute / double(stats.per_shard.size());
+  result.last_queue_wait_ms = 1e3 * queue / double(stats.per_shard.size());
+  return result;
+}
+
+void PrintRow(const char* name, const ChurnResult& r) {
+  std::printf(
+      "%-28s p50 %8.1f ms   p95 %8.1f ms   staleness %8.1f ms   "
+      "%5.1f pub/s   (impute %6.1f ms, queue %6.1f ms, warm %zu)\n",
+      name, r.p50_ms, r.p95_ms, r.mean_staleness_ms, r.publishes_per_sec,
+      r.last_impute_ms, r.last_queue_wait_ms, r.warm_rebuilds);
+}
+
+void EmitJsonBlock(std::FILE* f, const char* key, const ChurnResult& r,
+                   bool trailing_comma) {
+  std::fprintf(
+      f,
+      "    \"%s\": {\"p50_ms\": %.2f, \"p95_ms\": %.2f, \"max_ms\": %.2f,"
+      " \"mean_staleness_ms\": %.2f, \"publishes\": %zu,"
+      " \"publishes_per_sec\": %.2f, \"last_impute_ms\": %.2f,"
+      " \"last_queue_wait_ms\": %.2f, \"warm_rebuilds\": %zu}%s\n",
+      key, r.p50_ms, r.p95_ms, r.max_ms, r.mean_staleness_ms, r.publishes,
+      r.publishes_per_sec, r.last_impute_ms, r.last_queue_wait_ms,
+      r.warm_rebuilds, trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      if (json_path.empty()) json_path = "BENCH_rebuild.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+
+  ChurnConfig base;
+  base.rounds = smoke ? 6 : 10;
+  base.nx = smoke ? 20 : 24;
+  base.ny = smoke ? 12 : 14;
+
+  std::printf("=== rebuild latency under churn — %zu rounds, batch %zu, "
+              "%zux%zu refs/shard ===\n",
+              base.rounds, base.batch, base.nx, base.ny);
+
+  // --- one shard: cold vs incremental (pool width is irrelevant) --------
+  ChurnConfig one = base;
+  one.num_shards = 1;
+  one.incremental = false;
+  const ChurnResult one_cold = RunChurn(one);
+  PrintRow("1 shard, cold", one_cold);
+  one.incremental = true;
+  const ChurnResult one_inc = RunChurn(one);
+  PrintRow("1 shard, incremental", one_inc);
+
+  // --- eight shards: the serialization backlog the pool removes ---------
+  ChurnConfig eight = base;
+  eight.num_shards = 8;
+  eight.rebuild_threads = 1;
+  eight.incremental = false;
+  const ChurnResult serialized_cold = RunChurn(eight);
+  PrintRow("8 shards, serialized cold", serialized_cold);
+  eight.rebuild_threads = 8;
+  const ChurnResult parallel_cold = RunChurn(eight);
+  PrintRow("8 shards, parallel cold", parallel_cold);
+  eight.incremental = true;
+  const ChurnResult parallel_inc = RunChurn(eight);
+  PrintRow("8 shards, parallel incr.", parallel_inc);
+
+  const double speedup_p95 =
+      parallel_inc.p95_ms > 0 ? serialized_cold.p95_ms / parallel_inc.p95_ms
+                              : 0.0;
+  const double speedup_p95_pool =
+      parallel_cold.p95_ms > 0 ? serialized_cold.p95_ms / parallel_cold.p95_ms
+                               : 0.0;
+  const double speedup_staleness =
+      parallel_inc.mean_staleness_ms > 0
+          ? serialized_cold.mean_staleness_ms / parallel_inc.mean_staleness_ms
+          : 0.0;
+  std::printf(
+      "\np95 publish-latency speedup vs serialized cold: pool %.2fx, "
+      "pool+incremental %.2fx (staleness %.2fx)\n",
+      speedup_p95_pool, speedup_p95, speedup_staleness);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"config\": {\"rounds\": %zu, \"batch\": %zu,"
+                 " \"rps_per_shard\": %zu, \"aps_per_shard\": %zu},\n"
+                 "  \"one_shard\": {\n",
+                 base.rounds, base.batch, base.nx * base.ny,
+                 base.aps_per_floor);
+    EmitJsonBlock(f, "cold", one_cold, true);
+    EmitJsonBlock(f, "incremental", one_inc, false);
+    std::fprintf(f, "  },\n  \"eight_shard\": {\n");
+    EmitJsonBlock(f, "serialized_cold", serialized_cold, true);
+    EmitJsonBlock(f, "parallel_cold", parallel_cold, true);
+    EmitJsonBlock(f, "parallel_incremental", parallel_inc, false);
+    std::fprintf(f,
+                 "  },\n"
+                 "  \"speedup_p95\": %.3f,\n"
+                 "  \"speedup_p95_pool_only\": %.3f,\n"
+                 "  \"speedup_staleness\": %.3f\n"
+                 "}\n",
+                 speedup_p95, speedup_p95_pool, speedup_staleness);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (speedup_p95 < 3.0) {
+    std::fprintf(stderr,
+                 "WARNING: p95 speedup %.2fx below the 3x acceptance bar\n",
+                 speedup_p95);
+  }
+  return 0;
+}

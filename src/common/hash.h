@@ -1,0 +1,28 @@
+// Cheap stateless integer mixing.
+#ifndef RMI_COMMON_HASH_H_
+#define RMI_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace rmi {
+
+/// The SplitMix64 finalizer: a well-mixed 64-bit hash step, shared by the
+/// deterministic fading field (radio/), the snapshot integrity stamp
+/// (serving/snapshot.cc), and the per-shard RNG stream seeding
+/// (serving/map_updater.cc).
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Streaming combine built on the same finalizer (hash-chain a value into
+/// an accumulator).
+inline uint64_t SplitMix64Combine(uint64_t h, uint64_t v) {
+  return SplitMix64(h + v);
+}
+
+}  // namespace rmi
+
+#endif  // RMI_COMMON_HASH_H_

@@ -70,6 +70,7 @@ UpdateScenarioResult RunAccuracyUnderUpdate(
   serving::ShardedSnapshotStore store;
   serving::MapUpdaterOptions updater_options;
   updater_options.seed = options.seed + 1;
+  updater_options.incremental = options.incremental_rebuild;
   serving::MapUpdater updater(&store, &differentiator, &imputer,
                               estimator_factory, updater_options);
   updater.RegisterShard(shard, stale);  // bootstrap: the drifted snapshot
@@ -81,6 +82,10 @@ UpdateScenarioResult RunAccuracyUnderUpdate(
   // The fresh — but sparse — re-survey batch: missing RSSIs and missing
   // RPs force the rebuild through genuine differentiation + imputation.
   for (size_t i = 0; i < truth.size(); ++i) {
+    if (options.resurvey_fraction < 1.0 &&
+        !rng.Bernoulli(options.resurvey_fraction)) {
+      continue;
+    }
     rmap::Record obs = truth.record(i);
     obs.id = rmap::Record::kUnassignedId;
     obs.time += double(truth.size());  // surveyed after the stale pass

@@ -3,16 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/gemm_repro.h"
+
 namespace rmi::la {
 
 namespace {
-
-/// Cache block edge for the large no-transpose GEMM path (doubles; 64x64
-/// tiles keep one C tile plus streamed A/B panels inside L1/L2).
-constexpr size_t kBlock = 64;
-
-/// Flop threshold above which the no-transpose path switches to blocking.
-constexpr size_t kBlockThreshold = 128 * 128 * 128;
 
 /// Scales C by beta (0 means overwrite semantics: just zero).
 void ApplyBeta(double beta, Matrix* c) {
@@ -24,64 +19,21 @@ void ApplyBeta(double beta, Matrix* c) {
   }
 }
 
-/// C += alpha * A * B, streaming ikj — identical accumulation order to the
-/// naive ikj product (each C(i,j) sums over k ascending).
+/// C += alpha * A * B — the deterministic runtime-dispatched SIMD kernel
+/// (la/gemm_repro.cc): per C entry the k terms accumulate ascending, so
+/// results are bit-identical to the naive ikj loop on every ISA clone.
 void GemmNN(double alpha, const Matrix& a, const Matrix& b, Matrix* c) {
-  const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  const double* pa = a.data().data();
-  const double* pb = b.data().data();
-  double* pc = c->data().data();
-  if (m * k * n >= kBlockThreshold) {
-    // Cache-blocked over (kk, jj); the k loop stays ascending per C entry,
-    // so results are bit-identical to the streaming loop.
-    for (size_t kk = 0; kk < k; kk += kBlock) {
-      const size_t k_end = std::min(kk + kBlock, k);
-      for (size_t jj = 0; jj < n; jj += kBlock) {
-        const size_t j_end = std::min(jj + kBlock, n);
-        for (size_t i = 0; i < m; ++i) {
-          const double* arow = pa + i * k;
-          double* crow = pc + i * n;
-          for (size_t kx = kk; kx < k_end; ++kx) {
-            const double aik = alpha * arow[kx];
-            if (aik == 0.0) continue;
-            const double* brow = pb + kx * n;
-            for (size_t j = jj; j < j_end; ++j) crow[j] += aik * brow[j];
-          }
-        }
-      }
-    }
-    return;
-  }
-  for (size_t i = 0; i < m; ++i) {
-    const double* arow = pa + i * k;
-    double* crow = pc + i * n;
-    for (size_t kx = 0; kx < k; ++kx) {
-      const double aik = alpha * arow[kx];
-      if (aik == 0.0) continue;
-      const double* brow = pb + kx * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  internal::GemmReproNN(alpha, a.data().data(), b.data().data(),
+                        c->data().data(), a.rows(), a.cols(), b.cols());
 }
 
 /// C += alpha * A^T * B — rank-1 style updates: for each shared row k,
 /// C(i, :) += A(k, i) * B(k, :). Per-entry accumulation runs over k
-/// ascending (matches transposing A first and streaming ikj).
+/// ascending (matches transposing A first and streaming ikj); dispatched
+/// like GemmNN.
 void GemmTN(double alpha, const Matrix& a, const Matrix& b, Matrix* c) {
-  const size_t m = a.cols(), k = a.rows(), n = b.cols();
-  const double* pa = a.data().data();
-  const double* pb = b.data().data();
-  double* pc = c->data().data();
-  for (size_t kx = 0; kx < k; ++kx) {
-    const double* arow = pa + kx * m;
-    const double* brow = pb + kx * n;
-    for (size_t i = 0; i < m; ++i) {
-      const double aki = alpha * arow[i];
-      if (aki == 0.0) continue;
-      double* crow = pc + i * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  internal::GemmReproTN(alpha, a.data().data(), b.data().data(),
+                        c->data().data(), a.cols(), a.rows(), b.cols());
 }
 
 /// C += alpha * A * B^T — dot products of contiguous rows.

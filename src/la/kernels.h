@@ -28,9 +28,12 @@ inline void ResizeTo(Matrix* out, size_t rows, size_t cols) {
 /// overwritten (and resized to the product shape); with beta != 0, C must
 /// already have the product shape. C must not alias A or B.
 ///
-/// The no-transpose path is cache-blocked above a size threshold (the
-/// factorization/regression baselines multiply hundreds-squared matrices);
-/// small operands — the nn hot path — take a streaming ikj loop.
+/// Reproducible *and* SIMD: the NN and TN paths (the training/re-fit hot
+/// paths — every autodiff forward matmul and its Gemm(beta=1) adjoint) run
+/// through the runtime-dispatched deterministic kernels in la/gemm_repro.h
+/// — AVX2/AVX-512 target_clones compiled with fp-contract off, so every C
+/// entry sums its k terms in ascending order with one rounding per op,
+/// bit-identical across ISAs and to the scalar reference loop.
 void Gemm(double alpha, const Matrix& a, bool trans_a, const Matrix& b,
           bool trans_b, double beta, Matrix* c);
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "common/missing.h"
 
 namespace rmi::radio {
@@ -17,12 +18,7 @@ PropagationModel::PropagationModel(const indoor::Venue* venue,
 namespace {
 
 /// SplitMix64 — cheap stateless hash for the deterministic fading field.
-uint64_t Mix(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+uint64_t Mix(uint64_t x) { return SplitMix64(x); }
 
 /// Hash -> approximately standard normal (sum of 4 uniforms, CLT; exact
 /// distribution is irrelevant — we only need a static bounded fading field).

@@ -5,8 +5,22 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/hash.h"
+#include "common/thread_pool.h"
 
 namespace rmi::serving {
+
+namespace {
+
+/// Deterministic per-shard stream seed: splitmix64 finalizer over the root
+/// seed mixed with the shard coordinates. Every shard's stream is a pure
+/// function of (seed, shard), never of registration or scheduling order.
+uint64_t ShardSeed(uint64_t seed, const rmap::ShardId& id) {
+  return SplitMix64(seed ^ ((uint64_t(uint32_t(id.building)) << 32) |
+                            uint64_t(uint32_t(id.floor))));
+}
+
+}  // namespace
 
 MapUpdater::MapUpdater(ShardedSnapshotStore* store,
                        const cluster::Differentiator* differentiator,
@@ -17,8 +31,7 @@ MapUpdater::MapUpdater(ShardedSnapshotStore* store,
       differentiator_(differentiator),
       imputer_(imputer),
       estimator_factory_(std::move(estimator_factory)),
-      options_(options),
-      rng_(options.seed) {
+      options_(options) {
   RMI_CHECK(store_ != nullptr);
   RMI_CHECK(differentiator_ != nullptr);
   RMI_CHECK(imputer_ != nullptr);
@@ -48,6 +61,7 @@ void MapUpdater::RegisterShard(const rmap::ShardId& id, rmap::RadioMap base) {
       // Find race must see the real width, never an empty base.
       slot = std::make_unique<ShardState>();
       slot->base = std::move(base);
+      slot->rng = Rng(ShardSeed(options_.seed, id));
       fresh = true;
     }
     state = slot.get();
@@ -60,9 +74,10 @@ void MapUpdater::RegisterShard(const rmap::ShardId& id, rmap::RadioMap base) {
     std::lock_guard<std::mutex> lock(state->mu);
     state->base = std::move(base);
     state->deltas.clear();
-    state->last_imputed = rmap::RadioMap();
-    state->has_imputed = false;
+    state->last_imputed.reset();
+    state->imputer_state.reset();
     state->next_version = 1;
+    state->rng = Rng(ShardSeed(options_.seed, id));
   }
   size_t num_shards = 0;
   {
@@ -102,7 +117,8 @@ bool MapUpdater::RebuildNow(const rmap::ShardId& id) {
   return true;
 }
 
-void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state) {
+void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state,
+                         double queue_wait_seconds) {
   // One rebuild at a time per shard; the delta mutex is only held for the
   // cheap fold/copy below, never during the impute/fit phase, so Ingest
   // keeps flowing while the pipeline runs.
@@ -114,52 +130,94 @@ void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state) {
   Timer timer;
 
   rmap::RadioMap working;
-  rmap::RadioMap previous;
-  bool have_previous = false;
+  std::shared_ptr<const rmap::RadioMap> previous;
+  std::shared_ptr<const imputers::ImputerState> warm_state;
+  size_t pre_delta_rows = 0;
   uint64_t version = 0;
   {
     std::lock_guard<std::mutex> lock(state->mu);
+    pre_delta_rows = state->base.size();
     for (rmap::Record& r : state->deltas) state->base.Add(std::move(r));
     state->deltas.clear();
     working = state->base;
-    if (state->has_imputed) {
-      previous = state->last_imputed;
-      have_previous = true;
+    if (options_.incremental) {
+      previous = state->last_imputed;  // O(1) pointer grab, never a copy
+      warm_state = state->imputer_state;
     }
     version = state->next_version++;
   }
 
-  Rng rebuild_rng(0);
-  {
-    std::lock_guard<std::mutex> lock(rng_mu_);
-    rebuild_rng = rng_.Fork();
-  }
+  // The shard's private stream (rebuild_mu serializes access): fork N of
+  // shard S is the same generator on every run with this root seed, no
+  // matter which pool worker executes the rebuild.
+  Rng rebuild_rng = state->rng.Fork();
 
   // The paper pipeline, online: differentiate -> MNAR fill -> (re-)impute
   // -> fit -> freeze -> hot-swap.
+  Timer impute_timer;
   rmap::MaskMatrix mask = differentiator_->Differentiate(working, rebuild_rng);
   imputers::FillMnar(&working, &mask);
-  rmap::RadioMap imputed = imputer_->ImputeIncremental(
-      working, mask, have_previous ? &previous : nullptr, rebuild_rng);
+  imputers::IncrementalContext ctx;
+  std::shared_ptr<const imputers::ImputerState> new_state;
+  const bool warm = previous != nullptr;
+  if (warm) {
+    ctx.previous_imputed = previous.get();
+    // The *merged-map* row count the previous imputation claims to cover —
+    // not previous.size(): a record-dropping backend (CaseDeletion) makes
+    // them differ, and the base implementation's alignment guard must see
+    // that and fall back to a cold rebuild instead of splicing from
+    // misaligned rows.
+    ctx.num_previous_records = pre_delta_rows;
+    ctx.previous_state = std::move(warm_state);
+  }
+  if (options_.incremental) {
+    ctx.dirty_neighbors = options_.dirty_neighbors;
+    ctx.max_dirty_fraction = options_.max_dirty_fraction;
+    ctx.state_out = &new_state;
+  }
+  rmap::RadioMap imputed =
+      imputer_->ImputeIncremental(working, mask, ctx, rebuild_rng);
   imputed.set_shard(id);
+  const double impute_seconds = impute_timer.ElapsedSeconds();
 
+  Timer fit_timer;
   SnapshotOptions snapshot_options;
   snapshot_options.version = version;
   snapshot_options.cell_size_m = options_.snapshot_cell_size_m;
   std::shared_ptr<const MapSnapshot> snapshot = BuildSnapshot(
       imputed, estimator_factory_(), rebuild_rng, snapshot_options);
+  const double fit_seconds = fit_timer.ElapsedSeconds();
+
+  Timer publish_timer;
   store_->Publish(id, snapshot);
+  const double publish_seconds = publish_timer.ElapsedSeconds();
 
   {
     std::lock_guard<std::mutex> lock(state->mu);
-    state->last_imputed = std::move(imputed);
-    state->has_imputed = true;
+    // The imputed copy and warm-start blob only feed the next incremental
+    // rebuild; in cold mode retaining them would just double every
+    // shard's resident map for nothing.
+    if (options_.incremental) {
+      state->last_imputed =
+          std::make_shared<const rmap::RadioMap>(std::move(imputed));
+      state->imputer_state = std::move(new_state);
+    }
     state->since_rebuild.Reset();
   }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.rebuilds_completed;
     stats_.last_rebuild_seconds = timer.ElapsedSeconds();
+    RebuildStats& shard_stats = stats_.per_shard[id];
+    ++shard_stats.completed;
+    if (warm) ++shard_stats.warm;
+    shard_stats.last_queue_wait_seconds = queue_wait_seconds;
+    shard_stats.last_impute_seconds = impute_seconds;
+    shard_stats.last_fit_seconds = fit_seconds;
+    shard_stats.last_publish_seconds = publish_seconds;
+    shard_stats.last_total_seconds =
+        impute_seconds + fit_seconds + publish_seconds;
+    shard_stats.total_busy_seconds += shard_stats.last_total_seconds;
   }
 }
 
@@ -192,6 +250,11 @@ void MapUpdater::Stop() {
 void MapUpdater::TriggerLoop() {
   const auto poll = std::chrono::duration<double, std::milli>(
       options_.poll_interval_ms);
+  // The bounded rebuild pool lives for the whole loop: its workers (and
+  // their thread_local autodiff Workspaces) persist across trigger
+  // batches, so consecutive rebuilds of same-shaped shards reuse the
+  // arena instead of re-allocating tape buffers.
+  ThreadPool pool(options_.rebuild_threads);
   while (true) {
     {
       std::unique_lock<std::mutex> lock(loop_mu_);
@@ -204,11 +267,13 @@ void MapUpdater::TriggerLoop() {
       ids.reserve(shards_.size());
       for (const auto& [id, state] : shards_) ids.push_back(id);
     }
+    // Collect every tripped shard first, then fan the batch out over the
+    // pool: independent shards rebuild concurrently (bounded by
+    // rebuild_threads), and per-shard ordering holds because a shard
+    // appears at most once per batch and rebuild_mu serializes across
+    // batches.
+    std::vector<std::pair<rmap::ShardId, ShardState*>> tripped;
     for (const rmap::ShardId& id : ids) {
-      {
-        std::lock_guard<std::mutex> lock(loop_mu_);
-        if (stop_) return;
-      }
       ShardState* state = Find(id);
       if (state == nullptr) continue;
       bool trip = false;
@@ -219,8 +284,37 @@ void MapUpdater::TriggerLoop() {
                (pending > 0 && state->since_rebuild.ElapsedSeconds() >
                                    options_.max_staleness_seconds);
       }
-      if (trip) Rebuild(id, state);
+      if (trip) tripped.emplace_back(id, state);
     }
+    if (tripped.empty()) continue;
+    {
+      std::lock_guard<std::mutex> lock(loop_mu_);
+      if (stop_) return;
+    }
+    if (tripped.size() == 1) {
+      // A single tripped shard runs directly on the trigger thread — not
+      // through ParallelFor, whose worker context would force an imputer's
+      // *nested* training pool inline (ThreadPool's oversubscription
+      // guard) and serialize training that RebuildNow/RegisterShard would
+      // run parallel. Matches the pre-pool behavior exactly.
+      Rebuild(tripped[0].first, tripped[0].second, 0.0);
+      continue;
+    }
+    Timer queue_timer;
+    pool.ParallelFor(tripped.size(), [&](size_t /*worker*/, size_t i) {
+      {
+        // A Stop() mid-batch skips the rebuilds not yet started (their
+        // deltas stay buffered for the next Start); every *started*
+        // rebuild still runs to completion and publishes.
+        std::lock_guard<std::mutex> lock(loop_mu_);
+        if (stop_) return;
+      }
+      // Time from trip detection to this worker picking the shard up —
+      // under a saturated pool this is the serialization backlog the
+      // rebuild bench measures.
+      const double queue_wait = queue_timer.ElapsedSeconds();
+      Rebuild(tripped[i].first, tripped[i].second, queue_wait);
+    });
   }
 }
 

@@ -6,16 +6,32 @@
 // online background process: when a shard's pending delta volume or
 // staleness threshold trips, the deltas are folded into the base, the
 // merged map is re-imputed (any imputers/ backend, via the incremental
-// entry point Imputer::ImputeIncremental), a fresh estimator is fitted,
-// and the rebuilt snapshot is published through the store's atomic
-// hot-swap — in-flight queries never block and never observe a torn map.
+// entry point Imputer::ImputeIncremental with dirty-row propagation and
+// the backend's warm-start state from the previous rebuild), a fresh
+// estimator is fitted, and the rebuilt snapshot is published through the
+// store's atomic hot-swap — in-flight queries never block and never
+// observe a torn map.
 //
 // Threading model: Ingest is called from any number of threads (it only
-// appends to a mutex-guarded delta buffer). Rebuilds run one at a time on
-// the background trigger thread (or on the caller inside RebuildNow) and
-// never hold the delta mutex during the long impute/fit phase, so ingest
-// is never stalled by a rebuild. Stop() is graceful: a rebuild in flight
-// runs to completion (and publishes) before the thread joins.
+// appends to a mutex-guarded delta buffer). Tripped shards rebuild
+// *concurrently* on a bounded pool of `rebuild_threads` workers
+// (common/thread_pool.h); per-shard ordering is preserved — each shard's
+// rebuild_mu serializes its own rebuilds, and each rebuild drains the
+// delta buffer atomically — while independent shards overlap freely.
+// Every shard draws randomness from its own Rng stream seeded by
+// (options.seed, shard id), so published snapshots are deterministic per
+// (seed, shard) no matter how the pool schedules them. (Caveat for
+// imputers that parallelize *internally*, e.g. BiSIM with num_threads !=
+// 1: inside a multi-shard pool batch their nested pools collapse to one
+// thread — ThreadPool's oversubscription guard — so their training
+// results match the single-threaded reference there, while direct
+// RebuildNow/RegisterShard/single-shard-trigger rebuilds train with the
+// configured thread count; bit-reproducibility across those two paths
+// requires an imputer with num_threads = 1, which is how the
+// determinism tests run.) Rebuilds never hold the delta mutex during the
+// long impute/fit phase, so ingest is never stalled by a rebuild. Stop()
+// is graceful: the in-flight rebuild batch runs to completion (and
+// publishes) before the loop joins.
 #ifndef RMI_SERVING_MAP_UPDATER_H_
 #define RMI_SERVING_MAP_UPDATER_H_
 
@@ -50,8 +66,37 @@ struct MapUpdaterOptions {
   double poll_interval_ms = 2.0;
   /// Spatial-index grid pitch of published snapshots, meters.
   double snapshot_cell_size_m = 6.0;
-  /// Seed of the updater's private Rng (imputation + estimator fitting).
+  /// Root seed of the per-shard RNG streams: shard S draws from an
+  /// independent deterministic stream seeded by (seed, S), so concurrent
+  /// rebuilds reproduce bit-for-bit regardless of pool scheduling.
   uint64_t seed = 127;
+  /// Rebuild pool width: up to this many tripped shards rebuild
+  /// concurrently (1 = serialized, the pre-pool behavior; 0 = all
+  /// hardware threads).
+  size_t rebuild_threads = 4;
+  /// Incremental re-fit: offer each rebuild the previous imputation plus
+  /// the imputer's warm-start state (dirty-row propagation / fine-tune —
+  /// see Imputer::ImputeIncremental). false = every rebuild is cold.
+  bool incremental = true;
+  /// Dirty-row propagation knobs forwarded to ImputeIncremental.
+  size_t dirty_neighbors = 8;
+  double max_dirty_fraction = 0.6;
+};
+
+/// Per-shard rebuild telemetry (all "last_" fields describe the most
+/// recently completed rebuild of that shard).
+struct RebuildStats {
+  size_t completed = 0;
+  /// Rebuilds that offered the imputer a warm-start context (previous
+  /// imputation + state). The imputer may still have chosen the cold path
+  /// internally (e.g. dirty set too large).
+  size_t warm = 0;
+  double last_queue_wait_seconds = 0.0;  ///< trip detection -> worker start
+  double last_impute_seconds = 0.0;   ///< differentiate + MNAR fill + impute
+  double last_fit_seconds = 0.0;      ///< estimator fit + snapshot freeze
+  double last_publish_seconds = 0.0;  ///< store hot-swap
+  double last_total_seconds = 0.0;    ///< impute + fit + publish (no queue)
+  double total_busy_seconds = 0.0;    ///< cumulative last_total over all
 };
 
 struct MapUpdaterStats {
@@ -60,6 +105,8 @@ struct MapUpdaterStats {
   size_t rebuilds_started = 0;
   size_t rebuilds_completed = 0;  ///< each one published a snapshot
   double last_rebuild_seconds = 0.0;  ///< differentiate+impute+fit+publish
+  /// Queue-wait and phase breakdown per shard.
+  std::map<rmap::ShardId, RebuildStats> per_shard;
 };
 
 /// Builds the (unfitted) estimator each rebuild publishes; called once per
@@ -86,7 +133,8 @@ class MapUpdater {
   /// Adopts `base` (a sparse survey map; nulls welcome) as shard `id`'s
   /// record base, runs the first differentiate -> impute -> fit cycle
   /// synchronously, and publishes snapshot version 1. Re-registering an
-  /// existing shard replaces its base and republishes.
+  /// existing shard replaces its base (and resets its RNG stream and
+  /// warm-start state) and republishes.
   void RegisterShard(const rmap::ShardId& id, rmap::RadioMap base);
 
   /// Appends one new survey observation (sparse RSSIs, RP optional) to the
@@ -102,8 +150,8 @@ class MapUpdater {
 
   /// Starts the background trigger loop (idempotent).
   void Start();
-  /// Graceful shutdown: a rebuild in flight completes and publishes before
-  /// the loop joins. Idempotent; the destructor calls it.
+  /// Graceful shutdown: the rebuild batch in flight completes and
+  /// publishes before the loop joins. Idempotent; the destructor calls it.
   void Stop();
 
   /// Deltas currently buffered for shard `id` (0 for unknown shards).
@@ -116,15 +164,23 @@ class MapUpdater {
     std::mutex mu;                     ///< guards base, deltas, timestamps
     rmap::RadioMap base;               ///< sparse survey records
     std::vector<rmap::Record> deltas;  ///< ingested since the last rebuild
-    rmap::RadioMap last_imputed;       ///< warm-start input for the imputer
-    bool has_imputed = false;
+    /// Warm-start input for the imputer — shared_ptr so a rebuild grabs it
+    /// under mu in O(1) instead of stalling Ingest behind a map copy;
+    /// nullptr until the first incremental-mode rebuild publishes.
+    std::shared_ptr<const rmap::RadioMap> last_imputed;
+    /// Imputer warm-start blob from the last rebuild (guarded by mu).
+    std::shared_ptr<const imputers::ImputerState> imputer_state;
     Timer since_rebuild;
     uint64_t next_version = 1;
     std::mutex rebuild_mu;  ///< one rebuild at a time per shard
+    /// Per-shard RNG stream, seeded by (options.seed, shard id). Forked
+    /// once per rebuild; accessed only under rebuild_mu.
+    Rng rng{0};
   };
 
   ShardState* Find(const rmap::ShardId& id) const;
-  void Rebuild(const rmap::ShardId& id, ShardState* state);
+  void Rebuild(const rmap::ShardId& id, ShardState* state,
+               double queue_wait_seconds = 0.0);
   void TriggerLoop();
 
   ShardedSnapshotStore* store_;
@@ -135,9 +191,6 @@ class MapUpdater {
 
   mutable std::mutex shards_mu_;  ///< guards the shard map itself
   std::map<rmap::ShardId, std::unique_ptr<ShardState>> shards_;
-
-  std::mutex rng_mu_;  ///< rebuilds run serially, but RegisterShard races
-  Rng rng_;
 
   mutable std::mutex stats_mu_;
   MapUpdaterStats stats_;

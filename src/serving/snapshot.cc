@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "common/missing.h"
 
 namespace rmi::serving {
@@ -12,12 +13,7 @@ namespace rmi::serving {
 namespace {
 
 /// splitmix64 — cheap, well-mixed combine for the integrity stamp.
-uint64_t Mix(uint64_t h, uint64_t v) {
-  h += 0x9e3779b97f4a7c15ull + v;
-  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
-  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
-  return h ^ (h >> 31);
-}
+uint64_t Mix(uint64_t h, uint64_t v) { return SplitMix64Combine(h, v); }
 
 }  // namespace
 

@@ -79,12 +79,12 @@ TEST(GemmTest, BetaOneWithTransposesMatchesNaive) {
   }
 }
 
-TEST(GemmTest, CacheBlockedLargePathBitMatchesStreamingOrder) {
-  // Above the blocking threshold the kernel tiles over (k, j); per-entry
-  // accumulation still runs k ascending, so the result must equal the
-  // plain streaming loop bit-for-bit.
+TEST(GemmTest, LargeOperandsBitMatchStreamingOrder) {
+  // The SIMD kernel strip-mines j into register lanes and tiles B panels;
+  // per-entry accumulation still runs k ascending, so the result must
+  // equal the plain streaming loop bit-for-bit.
   Rng rng(104);
-  const size_t n = 160;  // 160^3 flops > threshold
+  const size_t n = 160;  // several B panel tiles, many full lane strips
   Matrix a = Matrix::Random(n, n, rng);
   Matrix b = Matrix::Random(n, n, rng);
   Matrix c;
@@ -97,6 +97,62 @@ TEST(GemmTest, CacheBlockedLargePathBitMatchesStreamingOrder) {
     }
   }
   EXPECT_DOUBLE_EQ(Matrix::MaxAbsDiff(c, want), 0.0);
+}
+
+TEST(GemmTest, SimdNNAndTNKernelsBitMatchScalarOrderEverywhere) {
+  // The deterministic target_clones kernels (la/gemm_repro.cc) promise the
+  // exact rounding sequence of the scalar reference loops — including the
+  // alpha pre-multiply, the beta accumulate, the aik == 0 sparsity skip,
+  // and the < 8-column lane remainder. Verified bit-for-bit over shapes
+  // that exercise full lanes, remainders, and single columns.
+  Rng rng(117);
+  const size_t shapes[][3] = {{1, 1, 1},   {3, 5, 7},    {4, 9, 8},
+                              {6, 13, 17}, {2, 31, 23},  {9, 4, 64}};
+  for (const auto& s : shapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    Matrix a = Matrix::Random(m, k, rng);
+    Matrix b = Matrix::Random(k, n, rng);
+    // Sparsity so the zero-skip branch is exercised identically.
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (i % 3 == 0) a.data()[i] = 0.0;
+    }
+    const double alpha = 1.75;
+    Matrix c0 = Matrix::Random(m, n, rng);
+
+    // NN with beta = 1: acc starts from c0, terms added k ascending.
+    Matrix c = c0;
+    Gemm(alpha, a, false, b, false, 1.0, &c);
+    Matrix want = c0;
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t kk = 0; kk < k; ++kk) {
+        const double aik = alpha * a(i, kk);
+        if (aik == 0.0) continue;
+        for (size_t j = 0; j < n; ++j) want(i, j) += aik * b(kk, j);
+      }
+    }
+    for (size_t i = 0; i < c.size(); ++i) {
+      EXPECT_EQ(c.data()[i], want.data()[i]) << m << "x" << k << "x" << n;
+    }
+
+    // TN (rank-1 update order), beta = 0.
+    Matrix at(k, m);
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < m; ++j) at(i, j) = a(j, i);
+    }
+    Matrix ct;
+    Gemm(alpha, at, true, b, false, 0.0, &ct);
+    Matrix want_t(m, n);
+    for (size_t kk = 0; kk < k; ++kk) {
+      for (size_t i = 0; i < m; ++i) {
+        const double aki = alpha * at(kk, i);
+        if (aki == 0.0) continue;
+        for (size_t j = 0; j < n; ++j) want_t(i, j) += aki * b(kk, j);
+      }
+    }
+    for (size_t i = 0; i < ct.size(); ++i) {
+      EXPECT_EQ(ct.data()[i], want_t.data()[i]) << m << "x" << k << "x" << n;
+    }
+  }
 }
 
 TEST(GemmTest, MatMulRoutesThroughGemm) {
