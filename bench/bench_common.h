@@ -10,7 +10,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/table.h"
@@ -82,6 +84,47 @@ inline double MeanApe(const rmap::RadioMap& map,
   double sum = 0.0;
   for (double a : apes) sum += a;
   return sum / static_cast<double>(repeats);
+}
+
+/// CPU model string from /proc/cpuinfo ("unknown" off Linux or on parse
+/// failure), sanitized for direct embedding in a JSON string literal.
+inline std::string CpuModelName() {
+  std::string model = "unknown";
+  if (std::FILE* f = std::fopen("/proc/cpuinfo", "r")) {
+    char line[512];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::strncmp(line, "model name", 10) != 0) continue;
+      if (const char* colon = std::strchr(line, ':')) {
+        model.assign(colon + 1);
+        while (!model.empty() && model.front() == ' ') model.erase(0, 1);
+        while (!model.empty() &&
+               (model.back() == '\n' || model.back() == ' ')) {
+          model.pop_back();
+        }
+      }
+      break;
+    }
+    std::fclose(f);
+  }
+  if (model.empty()) model = "unknown";
+  for (char& c : model) {
+    if (c == '"' || c == '\\') c = '\'';
+  }
+  return model;
+}
+
+/// Writes the shared `"hardware"` JSON object (one line, no trailing
+/// comma): the machine's hardware_concurrency, the thread count the bench
+/// actually ran with, and the CPU model. Every BENCH_*.json carries it so
+/// numbers are never compared across machines blind — and the regression
+/// gate reads hardware_concurrency to skip multicore-scaling assertions on
+/// small runners.
+inline void WriteHardwareJson(std::FILE* f, size_t bench_threads) {
+  std::fprintf(f,
+               "  \"hardware\": {\"hardware_concurrency\": %u, "
+               "\"bench_threads\": %zu, \"cpu_model\": \"%s\"}",
+               std::thread::hardware_concurrency(), bench_threads,
+               CpuModelName().c_str());
 }
 
 }  // namespace rmi::bench

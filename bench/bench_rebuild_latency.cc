@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "clustering/differentiation.h"
 #include "common/missing.h"
 #include "common/rng.h"
@@ -315,9 +316,10 @@ int main(int argc, char** argv) {
                  "  },\n"
                  "  \"speedup_p95\": %.3f,\n"
                  "  \"speedup_p95_pool_only\": %.3f,\n"
-                 "  \"speedup_staleness\": %.3f\n"
-                 "}\n",
+                 "  \"speedup_staleness\": %.3f,\n",
                  speedup_p95, speedup_p95_pool, speedup_staleness);
+    rmi::bench::WriteHardwareJson(f, eight.rebuild_threads);
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }

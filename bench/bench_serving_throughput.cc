@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "geometry/geometry.h"
@@ -260,11 +261,12 @@ int main(int argc, char** argv) {
         "  \"index_pruned_qps\": %.1f,\n"
         "  \"index_scored_fraction\": %.4f,\n"
         "  \"server\": {\"qps\": %.1f, \"p50_us\": %.1f, \"p95_us\": %.1f,"
-        " \"p99_us\": %.1f, \"mean_batch\": %.2f, \"hot_swaps\": %zu}\n"
-        "}\n",
+        " \"p99_us\": %.1f, \"mean_batch\": %.2f, \"hot_swaps\": %zu},\n",
         pruned_qps, scored_fraction, stats.qps, stats.p50_latency_us,
         stats.p95_latency_us, stats.p99_latency_us, stats.mean_batch_size,
         hot_swaps);
+    rmi::bench::WriteHardwareJson(f, server_opt.num_workers);
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", json_path.c_str());
   }

@@ -22,8 +22,10 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "clustering/differentiation.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "eval/update_scenario.h"
 #include "geometry/geometry.h"
@@ -273,13 +275,14 @@ int main(int argc, char** argv) {
         "  \"live_update\": {\"qps\": %.1f, \"client_batch\": %zu,"
         " \"rebuilds\": %zu, \"last_rebuild_ms\": %.2f},\n"
         "  \"update_scenario\": {\"stale_ape_m\": %.4f, \"updated_ape_m\":"
-        " %.4f, \"ingested\": %zu}\n"
-        "}\n",
+        " %.4f, \"ingested\": %zu},\n",
         num_shards, shards.front().map.num_aps(), vopt.nx * vopt.ny,
         classifier_accuracy, classify_qps, baseline_qps, hinted_qps,
         routed_qps, routed_qps / baseline_qps, update_qps, batch_size,
         rebuilds, 1e3 * rebuild_seconds, scenario.stale_ape,
         scenario.updated_ape, scenario.ingested);
+    rmi::bench::WriteHardwareJson(f, ThreadPool::DefaultThreads());
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", json_path.c_str());
   }

@@ -26,6 +26,22 @@ class Differentiator {
   /// Returns the N x D mask over {-1 MNAR, 0 MAR, 1 observed}.
   virtual rmap::MaskMatrix Differentiate(const rmap::RadioMap& map,
                                          Rng& rng) const = 0;
+
+  /// Delta-aware variant for the live-update loop (serving::MapUpdater).
+  /// Rows [0, num_previous) of `map` are byte-identical to the rows
+  /// `previous_mask` labeled on the last rebuild — the survey base is
+  /// append-only — so their labels are reused verbatim and only the delta
+  /// rows [num_previous, N) are differentiated, against a sub-map of just
+  /// the deltas. For the row-local baselines (MAR-only / MNAR-only) the
+  /// splice is exact; for clustering differentiators it is the
+  /// approximation that turns an O(N) re-cluster into O(|delta|), with the
+  /// accuracy cost bounded by the incremental-update tests. Degrades to a
+  /// full Differentiate when the previous mask is unusable (shape drift,
+  /// nothing previous, or a delta set too small to cluster).
+  virtual rmap::MaskMatrix DifferentiateDelta(
+      const rmap::RadioMap& map, const rmap::MaskMatrix& previous_mask,
+      size_t num_previous, Rng& rng) const;
+
   virtual std::string name() const = 0;
 };
 

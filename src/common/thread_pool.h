@@ -1,19 +1,49 @@
-// Minimal fixed-size thread pool for deterministic data-parallel loops.
+// Fixed-size thread pool with two fan-out schedules and concurrent
+// submitters.
 //
-// ParallelFor partitions [0, count) statically by index modulo worker
-// count, so the (worker, index) assignment — and therefore any per-worker
-// accumulation order — is a pure function of (count, num_threads). Results
-// merged in worker order are reproducible run-to-run for a fixed thread
-// count. With num_threads <= 1 everything runs inline on the caller.
+//  * ParallelFor — the deterministic schedule. [0, count) is partitioned
+//    statically into num_threads() *lanes*; lane w handles the indices
+//    congruent to w modulo the lane count, in increasing order, so the
+//    (lane, index) assignment — and therefore any per-lane accumulation
+//    order — is a pure function of (count, num_threads). Training loops
+//    that merge per-lane gradient shards in lane order stay reproducible
+//    run-to-run for a fixed thread count. (A lane is a unit of work, not a
+//    thread: under load one OS thread may execute several lanes back to
+//    back, which changes nothing about per-lane order.)
+//
+//  * ParallelForDynamic — the throughput schedule for order-independent
+//    work (per-shard query groups, rebuild batches, evaluation chunks).
+//    [0, count) is split into per-participant index ranges; each
+//    participant claims chunks off the *front* of its own range and, when
+//    it runs dry, steals half of the largest remaining victim range off
+//    the *back* (a Chase–Lev-style owner-front/thief-back split collapsed
+//    onto one CAS word per range). Skewed per-index costs rebalance
+//    instead of idling workers, at the price of a nondeterministic
+//    (worker, index) assignment — callers must only write to disjoint
+//    pre-sized slots or otherwise commute.
+//
+// Both entry points may be called from any number of threads concurrently:
+// jobs queue inside the pool, every submitter participates in its own job
+// (so two concurrent callers always overlap instead of serializing), and
+// idle pool workers help whichever job is in front. With num_threads <= 1,
+// or from inside another pool's worker (the oversubscription guard), both
+// run inline on the caller.
 #ifndef RMI_COMMON_THREAD_POOL_H_
 #define RMI_COMMON_THREAD_POOL_H_
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/check.h"
 
 namespace rmi {
 
@@ -28,9 +58,8 @@ class ThreadPool {
       : num_threads_(InsideWorker() ? 1
                      : num_threads == 0 ? DefaultThreads()
                                         : num_threads) {
-    // Worker 0 is the calling thread; spawn the rest.
     for (size_t w = 1; w < num_threads_; ++w) {
-      workers_.emplace_back([this, w] { WorkerLoop(w); });
+      workers_.emplace_back([this] { WorkerLoop(); });
     }
   }
 
@@ -39,7 +68,7 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(mu_);
       shutdown_ = true;
     }
-    start_cv_.notify_all();
+    cv_.notify_all();
     for (std::thread& t : workers_) t.join();
   }
 
@@ -53,65 +82,218 @@ class ThreadPool {
     return hc == 0 ? 1 : static_cast<size_t>(hc);
   }
 
-  /// Runs fn(worker, index) for every index in [0, count); worker w handles
-  /// the indices congruent to w modulo num_threads(). Blocks until all
-  /// indices complete. The calling thread acts as worker 0.
+  /// Deterministic schedule: runs fn(lane, index) for every index in
+  /// [0, count), lane w handling the indices congruent to w modulo
+  /// num_threads() in increasing order. Blocks until all indices complete.
+  /// Safe to call from several threads at once (each call is one queued
+  /// job; the caller works on its own job, so concurrent calls overlap).
+  /// fn must not throw.
   void ParallelFor(size_t count,
                    const std::function<void(size_t worker, size_t index)>& fn) {
-    if (count == 0) return;
-    if (num_threads_ <= 1) {
-      for (size_t i = 0; i < count; ++i) fn(0, i);
-      return;
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      task_ = &fn;
-      count_ = count;
-      pending_workers_ = num_threads_ - 1;
-      ++generation_;
-    }
-    start_cv_.notify_all();
-    RunShard(0, count, fn);
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
-    task_ = nullptr;
+    Run(count, fn, /*dynamic=*/false);
+  }
+
+  /// Work-stealing schedule: runs fn(slot, index) for every index in
+  /// [0, count) exactly once, with chunked dynamic load balancing. `slot`
+  /// is in [0, num_threads()) and exclusively owned by one thread while it
+  /// runs, but the (slot, index) assignment depends on scheduling — use
+  /// only for order-independent work. fn must not throw.
+  void ParallelForDynamic(
+      size_t count, const std::function<void(size_t worker, size_t index)>& fn) {
+    Run(count, fn, /*dynamic=*/true);
   }
 
  private:
+  /// One packed work range [begin, end) — begin in the high 32 bits, end in
+  /// the low — so owner front-claims and thief back-steals both commit with
+  /// a single CAS. Cache-line padded: every slot's range mutates hot.
+  struct alignas(64) PackedRange {
+    std::atomic<uint64_t> span{0};
+    static uint64_t Pack(uint64_t begin, uint64_t end) {
+      return (begin << 32) | end;
+    }
+    static uint64_t Begin(uint64_t s) { return s >> 32; }
+    static uint64_t End(uint64_t s) { return s & 0xffffffffull; }
+  };
+
+  struct Job {
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    size_t count = 0;
+    size_t lanes = 0;
+    bool dynamic = false;
+    std::atomic<size_t> next_lane{0};   ///< static lane / dynamic slot claim
+    std::vector<PackedRange> ranges;    ///< dynamic mode only
+    std::atomic<size_t> pending{0};     ///< indices not yet executed
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    bool done = false;
+  };
+
   static bool& InsideWorkerFlag() {
     thread_local bool inside = false;
     return inside;
   }
   static bool InsideWorker() { return InsideWorkerFlag(); }
 
-  void RunShard(size_t worker, size_t count,
-                const std::function<void(size_t, size_t)>& fn) {
+  void Run(size_t count, const std::function<void(size_t, size_t)>& fn,
+           bool dynamic) {
+    if (count == 0) return;
+    if (num_threads_ <= 1 || InsideWorker()) {
+      for (size_t i = 0; i < count; ++i) fn(0, i);
+      return;
+    }
+    RMI_CHECK_LE(count, size_t{0xffffffff});  // ranges pack into 32+32 bits
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->count = count;
+    job->lanes = num_threads_;
+    job->dynamic = dynamic;
+    job->pending.store(count, std::memory_order_relaxed);
+    if (dynamic) {
+      job->ranges = std::vector<PackedRange>(num_threads_);
+      for (size_t s = 0; s < num_threads_; ++s) {
+        const uint64_t b = s * count / num_threads_;
+        const uint64_t e = (s + 1) * count / num_threads_;
+        job->ranges[s].span.store(PackedRange::Pack(b, e),
+                                  std::memory_order_relaxed);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.push_back(job);
+    }
+    cv_.notify_all();
+    Participate(job.get());
+    {
+      std::unique_lock<std::mutex> lock(job->done_mu);
+      job->done_cv.wait(lock, [&] { return job->done; });
+    }
+    // The job is complete; drop it from the queue if no worker got there
+    // first (workers only pop a job they have seen exhausted).
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (*it == job) {
+        jobs_.erase(it);
+        break;
+      }
+    }
+  }
+
+  static void SignalDone(Job* job) {
+    {
+      std::lock_guard<std::mutex> lock(job->done_mu);
+      job->done = true;
+    }
+    job->done_cv.notify_all();
+  }
+
+  /// Executes as much of `job` as this thread can claim. Returns once the
+  /// job has no claimable work left (other participants may still be
+  /// running their claims).
+  void Participate(Job* job) {
     bool& inside = InsideWorkerFlag();
     const bool was_inside = inside;
     inside = true;
-    for (size_t i = worker; i < count; i += num_threads_) fn(worker, i);
+    if (job->dynamic) {
+      const size_t slot = job->next_lane.fetch_add(1);
+      // At most `lanes` threads ever participate (lanes == pool size); a
+      // worker that re-encounters an exhausted job claims no second slot.
+      if (slot < job->lanes) RunStealing(job, slot);
+    } else {
+      size_t lane;
+      while ((lane = job->next_lane.fetch_add(1)) < job->lanes) {
+        size_t ran = 0;
+        for (size_t i = lane; i < job->count; i += job->lanes) {
+          (*job->fn)(lane, i);
+          ++ran;
+        }
+        Complete(job, ran);
+      }
+    }
     inside = was_inside;
   }
 
-  void WorkerLoop(size_t worker) {
-    size_t seen_generation = 0;
+  void RunStealing(Job* job, size_t slot) {
+    PackedRange& own = job->ranges[slot];
     while (true) {
-      const std::function<void(size_t, size_t)>* task = nullptr;
-      size_t count = 0;
+      // Claim a chunk off the front of our own range.
+      uint64_t s = own.span.load(std::memory_order_acquire);
+      while (PackedRange::Begin(s) < PackedRange::End(s)) {
+        const uint64_t b = PackedRange::Begin(s), e = PackedRange::End(s);
+        // Geometric front chunks: large ranges move in big strides, the
+        // tail degrades to single indices so a thief always finds a fair
+        // back half to take.
+        const uint64_t chunk =
+            std::max<uint64_t>(1, (e - b) / (2 * job->lanes));
+        if (own.span.compare_exchange_weak(
+                s, PackedRange::Pack(b + chunk, e), std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+          for (uint64_t i = b; i < b + chunk; ++i) {
+            (*job->fn)(slot, static_cast<size_t>(i));
+          }
+          Complete(job, static_cast<size_t>(chunk));
+          s = own.span.load(std::memory_order_acquire);
+        }
+      }
+      // Own range dry: steal the back half of the largest victim range.
+      size_t victim = job->lanes;
+      uint64_t victim_span = 0;
+      uint64_t best_size = 0;
+      for (size_t v = 0; v < job->lanes; ++v) {
+        if (v == slot) continue;
+        const uint64_t vs = job->ranges[v].span.load(std::memory_order_acquire);
+        const uint64_t size = PackedRange::End(vs) - PackedRange::Begin(vs);
+        if (size > best_size) {
+          best_size = size;
+          victim = v;
+          victim_span = vs;
+        }
+      }
+      if (victim == job->lanes) return;  // nothing left anywhere
+      const uint64_t vb = PackedRange::Begin(victim_span);
+      const uint64_t ve = PackedRange::End(victim_span);
+      const uint64_t mid = ve - (ve - vb + 1) / 2;  // steal the back half
+      if (!job->ranges[victim].span.compare_exchange_strong(
+              victim_span, PackedRange::Pack(vb, mid),
+              std::memory_order_acq_rel, std::memory_order_acquire)) {
+        continue;  // lost the race; rescan for a victim
+      }
+      // Adopt the stolen half as our own range (we are its only owner; our
+      // span is empty, so no thief can have claimed it meanwhile — but one
+      // may be mid-CAS on the stale empty value, so publish with a CAS).
+      uint64_t empty = own.span.load(std::memory_order_acquire);
+      while (!own.span.compare_exchange_weak(
+          empty, PackedRange::Pack(mid, ve), std::memory_order_acq_rel,
+          std::memory_order_acquire)) {
+      }
+    }
+  }
+
+  static void Complete(Job* job, size_t ran) {
+    if (ran == 0) return;
+    if (job->pending.fetch_sub(ran, std::memory_order_acq_rel) == ran) {
+      SignalDone(job);
+    }
+  }
+
+  void WorkerLoop() {
+    while (true) {
+      std::shared_ptr<Job> job;
       {
         std::unique_lock<std::mutex> lock(mu_);
-        start_cv_.wait(lock, [&] {
-          return shutdown_ || generation_ != seen_generation;
-        });
-        if (shutdown_) return;
-        seen_generation = generation_;
-        task = task_;
-        count = count_;
+        cv_.wait(lock, [&] { return shutdown_ || !jobs_.empty(); });
+        if (jobs_.empty()) {
+          if (shutdown_) return;
+          continue;
+        }
+        // Leave the job in front so every idle worker joins it; it is
+        // popped once a participant finds it exhausted.
+        job = jobs_.front();
       }
-      RunShard(worker, count, *task);
+      Participate(job.get());
       {
         std::lock_guard<std::mutex> lock(mu_);
-        if (--pending_workers_ == 0) done_cv_.notify_all();
+        if (!jobs_.empty() && jobs_.front() == job) jobs_.pop_front();
       }
     }
   }
@@ -119,12 +301,8 @@ class ThreadPool {
   const size_t num_threads_;
   std::vector<std::thread> workers_;
   std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(size_t, size_t)>* task_ = nullptr;
-  size_t count_ = 0;
-  size_t pending_workers_ = 0;
-  size_t generation_ = 0;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;
   bool shutdown_ = false;
 };
 

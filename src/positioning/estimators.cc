@@ -69,6 +69,12 @@ void ExtractLabeledRows(const rmap::RadioMap& map, la::Matrix* fingerprints,
   }
 }
 
+void LocationEstimator::FitWarm(const rmap::RadioMap& map, Rng& rng,
+                                const LocationEstimator* /*previous*/,
+                                const std::vector<size_t>& /*changed_rows*/) {
+  Fit(map, rng);
+}
+
 std::vector<geom::Point> LocationEstimator::EstimateBatch(
     const la::Matrix& fingerprints) const {
   std::vector<geom::Point> out(fingerprints.rows());
@@ -309,6 +315,7 @@ std::vector<geom::Point> KnnEstimator::EstimateBatchQuant(
 void RandomForestEstimator::Fit(const rmap::RadioMap& map, Rng& rng) {
   ExtractTrainingData(map, &features_, &labels_);
   RMI_CHECK(!features_.empty());
+  warm_generation_ = 0;
   trees_.clear();
   const size_t n = features_.size();
   for (size_t t = 0; t < params_.num_trees; ++t) {
@@ -318,6 +325,44 @@ void RandomForestEstimator::Fit(const rmap::RadioMap& map, Rng& rng) {
     Tree tree;
     BuildNode(&tree, rows, 0, rng);
     trees_.push_back(std::move(tree));
+  }
+}
+
+void RandomForestEstimator::FitWarm(const rmap::RadioMap& map, Rng& rng,
+                                    const LocationEstimator* previous,
+                                    const std::vector<size_t>& changed_rows) {
+  ExtractTrainingData(map, &features_, &labels_);
+  RMI_CHECK(!features_.empty());
+  const auto* prev = dynamic_cast<const RandomForestEstimator*>(previous);
+  // Tree reuse is only sound against a same-shaped forest on the same
+  // venue whose training data mostly survived: a carried tree must at
+  // least pose valid feature-index questions, and refreshing a quarter of
+  // the forest only approximates well when the data drift is small.
+  const bool reusable =
+      prev != nullptr && prev->trees_.size() == params_.num_trees &&
+      params_.num_trees > 1 && !prev->features_.empty() &&
+      prev->features_[0].size() == features_[0].size() &&
+      changed_rows.size() * 2 <= features_.size();
+  if (!reusable) {
+    Fit(map, rng);
+    return;
+  }
+  trees_ = prev->trees_;
+  warm_generation_ = prev->warm_generation_ + 1;
+  const size_t total = params_.num_trees;
+  const size_t refresh = std::max<size_t>(1, total / 4);
+  const size_t n = features_.size();
+  for (size_t t = 0; t < refresh; ++t) {
+    // Rotating block: generation g re-grows trees [g*refresh, (g+1)*refresh)
+    // mod total, so every tree is rebuilt within ceil(total/refresh)
+    // consecutive warm rebuilds and no tree's staleness is unbounded.
+    const size_t idx =
+        (static_cast<size_t>(warm_generation_) * refresh + t) % total;
+    std::vector<size_t> rows(n);
+    for (size_t i = 0; i < n; ++i) rows[i] = rng.Index(n);
+    Tree tree;
+    BuildNode(&tree, rows, 0, rng);
+    trees_[idx] = std::move(tree);
   }
 }
 

@@ -63,6 +63,18 @@ class LocationEstimator {
   /// Builds the estimator from an imputed radio map.
   virtual void Fit(const rmap::RadioMap& map, Rng& rng) = 0;
 
+  /// Warm re-fit for the live-update loop: fit from `map`, reusing as much
+  /// of `previous`'s fitted state as the estimator can justify.
+  /// `changed_rows` lists the map rows whose values differ from the map
+  /// `previous` was fitted on (appended deltas included). `previous` may
+  /// be any estimator (or null) — implementations type-check and fall back
+  /// to a cold Fit, which is also the base behavior (cheap fits — KNN's
+  /// copy+quantize — gain nothing from reuse). RandomForestEstimator
+  /// overrides this with a rotating-tree refresh.
+  virtual void FitWarm(const rmap::RadioMap& map, Rng& rng,
+                       const LocationEstimator* previous,
+                       const std::vector<size_t>& changed_rows);
+
   /// Estimates the location of one online fingerprint (length D; kNull
   /// entries allowed where the estimator supports partial fingerprints).
   virtual geom::Point Estimate(const std::vector<double>& fingerprint) const = 0;
@@ -183,6 +195,18 @@ class RandomForestEstimator : public LocationEstimator {
   explicit RandomForestEstimator(const Params& params) : params_(params) {}
 
   void Fit(const rmap::RadioMap& map, Rng& rng) override;
+  /// Rotating-tree warm start: against a previous forest of identical
+  /// shape (same tree count, same feature width) on mostly-unchanged data,
+  /// only a deterministic quarter of the trees (at least one) is re-grown
+  /// on the fresh map per rebuild; the rest are carried over. Carried
+  /// trees predict from slightly stale leaves — the approximation the
+  /// incremental-update accuracy tests bound — and every tree is refreshed
+  /// within four consecutive warm rebuilds. Falls back to a cold Fit when
+  /// `previous` is not a same-shaped forest or the changed set covers more
+  /// than half the training rows.
+  void FitWarm(const rmap::RadioMap& map, Rng& rng,
+               const LocationEstimator* previous,
+               const std::vector<size_t>& changed_rows) override;
   geom::Point Estimate(const std::vector<double>& fingerprint) const override;
   std::string name() const override { return "RF"; }
   std::unique_ptr<LocationEstimator> Clone() const override {
@@ -209,6 +233,10 @@ class RandomForestEstimator : public LocationEstimator {
   std::vector<std::vector<double>> features_;
   std::vector<geom::Point> labels_;
   std::vector<Tree> trees_;
+  /// Warm-rebuild counter driving which tree block FitWarm re-grows; the
+  /// rotation is a pure function of the generation, so warm rebuilds are
+  /// as deterministic as cold ones.
+  uint64_t warm_generation_ = 0;
 };
 
 }  // namespace rmi::positioning

@@ -21,8 +21,8 @@ const char* QueryValidationError(const MapSnapshot& snapshot,
 
 geom::Point BatchLocalizer::Localize(
     const std::vector<double>& fingerprint) const {
-  const std::shared_ptr<const MapSnapshot> snap = store_->Current();
-  RMI_CHECK(snap != nullptr);
+  const PinnedSnapshot snap = store_->PinnedRead();
+  RMI_CHECK(snap.get() != nullptr);
   return LocalizeOn(*snap, fingerprint);
 }
 
@@ -49,8 +49,8 @@ geom::Point BatchLocalizer::LocalizeOn(const MapSnapshot& snapshot,
 
 std::vector<geom::Point> BatchLocalizer::LocalizeBatch(
     const la::Matrix& fingerprints) const {
-  const std::shared_ptr<const MapSnapshot> snap = store_->Current();
-  RMI_CHECK(snap != nullptr);
+  const PinnedSnapshot snap = store_->PinnedRead();
+  RMI_CHECK(snap.get() != nullptr);
   return LocalizeBatchOn(*snap, fingerprints);
 }
 

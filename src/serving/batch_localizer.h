@@ -9,9 +9,9 @@
 //    spatial index prunes reference rows via its triangle-inequality bound
 //    before the exact pass; other estimators fall back to Estimate.
 //
-// Every entry point grabs the snapshot once and uses it for the whole
-// request, so a concurrent hot-swap cannot mix two serving states inside
-// one query.
+// Every entry point grabs the snapshot once (epoch-pinned, no refcount
+// traffic) and uses it for the whole request, so a concurrent hot-swap
+// cannot mix two serving states inside one query.
 #ifndef RMI_SERVING_BATCH_LOCALIZER_H_
 #define RMI_SERVING_BATCH_LOCALIZER_H_
 

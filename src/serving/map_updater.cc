@@ -76,6 +76,8 @@ void MapUpdater::RegisterShard(const rmap::ShardId& id, rmap::RadioMap base) {
     state->deltas.clear();
     state->last_imputed.reset();
     state->imputer_state.reset();
+    state->last_mask.reset();
+    state->last_snapshot.reset();
     state->next_version = 1;
     state->rng = Rng(ShardSeed(options_.seed, id));
   }
@@ -132,6 +134,8 @@ void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state,
   rmap::RadioMap working;
   std::shared_ptr<const rmap::RadioMap> previous;
   std::shared_ptr<const imputers::ImputerState> warm_state;
+  std::shared_ptr<const rmap::MaskMatrix> previous_mask;
+  std::shared_ptr<const MapSnapshot> previous_snapshot;
   size_t pre_delta_rows = 0;
   uint64_t version = 0;
   {
@@ -143,6 +147,8 @@ void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state,
     if (options_.incremental) {
       previous = state->last_imputed;  // O(1) pointer grab, never a copy
       warm_state = state->imputer_state;
+      previous_mask = state->last_mask;
+      previous_snapshot = state->last_snapshot;
     }
     version = state->next_version++;
   }
@@ -155,10 +161,21 @@ void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state,
   // The paper pipeline, online: differentiate -> MNAR fill -> (re-)impute
   // -> fit -> freeze -> hot-swap.
   Timer impute_timer;
-  rmap::MaskMatrix mask = differentiator_->Differentiate(working, rebuild_rng);
+  rmap::MaskMatrix mask =
+      options_.delta_aware_differentiation && previous_mask != nullptr
+          ? differentiator_->DifferentiateDelta(working, *previous_mask,
+                                                pre_delta_rows, rebuild_rng)
+          : differentiator_->Differentiate(working, rebuild_rng);
+  // Saved pre-fill: FillMnar flips kMnar cells to observed values in
+  // place, and delta-aware reuse needs the labels as differentiated.
+  std::shared_ptr<const rmap::MaskMatrix> mask_for_next;
+  if (options_.incremental) {
+    mask_for_next = std::make_shared<const rmap::MaskMatrix>(mask);
+  }
   imputers::FillMnar(&working, &mask);
   imputers::IncrementalContext ctx;
   std::shared_ptr<const imputers::ImputerState> new_state;
+  std::vector<size_t> dirty_rows;
   const bool warm = previous != nullptr;
   if (warm) {
     ctx.previous_imputed = previous.get();
@@ -174,6 +191,7 @@ void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state,
     ctx.dirty_neighbors = options_.dirty_neighbors;
     ctx.max_dirty_fraction = options_.max_dirty_fraction;
     ctx.state_out = &new_state;
+    if (warm) ctx.dirty_rows_out = &dirty_rows;
   }
   rmap::RadioMap imputed =
       imputer_->ImputeIncremental(working, mask, ctx, rebuild_rng);
@@ -184,6 +202,17 @@ void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state,
   SnapshotOptions snapshot_options;
   snapshot_options.version = version;
   snapshot_options.cell_size_m = options_.snapshot_cell_size_m;
+  // Warm snapshot build: only when this rebuild actually ran the warm
+  // imputation path (dirty_rows then describes the imputed map) and the
+  // previous snapshot survived. Each warm stage re-verifies its own
+  // preconditions inside BuildSnapshot and degrades to cold.
+  if (warm && previous_snapshot != nullptr &&
+      (options_.estimator_warm_start || options_.incremental_index)) {
+    snapshot_options.warm_previous = previous_snapshot.get();
+    snapshot_options.changed_rows = &dirty_rows;
+    snapshot_options.warm_estimator = options_.estimator_warm_start;
+    snapshot_options.warm_index = options_.incremental_index;
+  }
   std::shared_ptr<const MapSnapshot> snapshot = BuildSnapshot(
       imputed, estimator_factory_(), rebuild_rng, snapshot_options);
   const double fit_seconds = fit_timer.ElapsedSeconds();
@@ -201,6 +230,8 @@ void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state,
       state->last_imputed =
           std::make_shared<const rmap::RadioMap>(std::move(imputed));
       state->imputer_state = std::move(new_state);
+      state->last_mask = std::move(mask_for_next);
+      state->last_snapshot = snapshot;
     }
     state->since_rebuild.Reset();
   }

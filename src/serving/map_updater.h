@@ -81,6 +81,21 @@ struct MapUpdaterOptions {
   /// Dirty-row propagation knobs forwarded to ImputeIncremental.
   size_t dirty_neighbors = 8;
   double max_dirty_fraction = 0.6;
+  /// Delta-aware differentiation (requires `incremental`): rows the
+  /// previous rebuild already labeled reuse their previous mask verbatim
+  /// (the survey base is append-only, so their observations are unchanged)
+  /// and only the delta rows are differentiated. Exact for row-local
+  /// differentiators (MAR-only / MNAR-only), an O(|delta|) approximation
+  /// for clustering ones — see Differentiator::DifferentiateDelta.
+  bool delta_aware_differentiation = true;
+  /// Warm estimator re-fit (requires `incremental`): rebuilds pass the
+  /// previous snapshot's fitted estimator plus the dirty-row set to
+  /// LocationEstimator::FitWarm (RF: rotating-tree refresh; others: cold).
+  bool estimator_warm_start = true;
+  /// Incremental spatial-index rebuild (requires `incremental`): only the
+  /// grid cells touching a dirty row are re-summarized; bit-identical to a
+  /// cold build (SpatialIndex::BuildIncremental) or falls back to one.
+  bool incremental_index = true;
 };
 
 /// Per-shard rebuild telemetry (all "last_" fields describe the most
@@ -170,6 +185,14 @@ class MapUpdater {
     std::shared_ptr<const rmap::RadioMap> last_imputed;
     /// Imputer warm-start blob from the last rebuild (guarded by mu).
     std::shared_ptr<const imputers::ImputerState> imputer_state;
+    /// Pre-MNAR-fill differentiation mask of the last rebuild's working
+    /// map (guarded by mu) — the reuse input of delta-aware
+    /// differentiation. Saved before FillMnar: the fill flips kMnar cells
+    /// to observed in place, which would poison reuse.
+    std::shared_ptr<const rmap::MaskMatrix> last_mask;
+    /// The snapshot the last rebuild published (guarded by mu) — warm
+    /// input for FitWarm / BuildIncremental on the next rebuild.
+    std::shared_ptr<const MapSnapshot> last_snapshot;
     Timer since_rebuild;
     uint64_t next_version = 1;
     std::mutex rebuild_mu;  ///< one rebuild at a time per shard

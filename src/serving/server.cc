@@ -185,9 +185,11 @@ void LocalizationServer::DispatchLoop() {
 
 void LocalizationServer::ProcessBatch(std::vector<Request>* batch) {
   // Pin one snapshot for the whole batch — a hot-swap mid-batch must never
-  // mix two serving states.
-  const std::shared_ptr<const MapSnapshot> snap = store_->Current();
-  RMI_CHECK(snap != nullptr);
+  // mix two serving states. Epoch-pinned read: no refcount RMW per batch,
+  // so dispatcher threads on different cores share no snapshot-access
+  // cache line.
+  const PinnedSnapshot snap = store_->PinnedRead();
+  RMI_CHECK(snap.get() != nullptr);
   const size_t d = snap->num_aps();
 
   // Per-request validation (the rule shared with the shard router): a

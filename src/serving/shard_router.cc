@@ -63,9 +63,15 @@ void ShardedSnapshotStore::Publish(const rmap::ShardId& id,
     shard->store.Publish(std::move(snapshot));
     auto next = std::make_shared<Table>(*table);
     (*next)[id] = std::move(shard);
-    std::atomic_store_explicit(&table_,
-                               std::shared_ptr<const Table>(std::move(next)),
-                               std::memory_order_release);
+    const Table* raw = next.get();
+    const std::shared_ptr<const Table> old = std::atomic_exchange_explicit(
+        &table_, std::shared_ptr<const Table>(std::move(next)),
+        std::memory_order_acq_rel);
+    table_raw_.store(raw, std::memory_order_seq_cst);
+    // The displaced table rides the same deferred-release list as retired
+    // snapshots: epoch-pinned readers may still be resolving shards
+    // through it.
+    EpochDomain::Global().Retire(std::shared_ptr<const void>(old));
   } else {
     Shard& shard = *it->second;
     shard.store.Publish(std::move(snapshot));
@@ -73,6 +79,16 @@ void ShardedSnapshotStore::Publish(const rmap::ShardId& id,
                                std::memory_order_release);
   }
   publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+PinnedSnapshot ShardedSnapshotStore::Pinned(const rmap::ShardId& id) const {
+  // One pin covers the raw table walk; the shard store's PinnedRead nests
+  // a second (depth-only, no slot store) pin that survives the return.
+  const EpochDomain::Pin pin = EpochDomain::Global().MakePin();
+  const Table* table = table_raw_.load(std::memory_order_seq_cst);
+  const auto it = table->find(id);
+  if (it == table->end()) return PinnedSnapshot();
+  return it->second->store.PinnedRead();
 }
 
 std::shared_ptr<const MapSnapshot> ShardedSnapshotStore::Current(
@@ -190,8 +206,8 @@ std::optional<RouteDecision> ShardRouter::ClassifyFloor(
 
 geom::Point ShardRouter::Localize(const rmap::ShardId& shard,
                                   const std::vector<double>& fingerprint) const {
-  const std::shared_ptr<const MapSnapshot> snap = store_->Current(shard);
-  if (snap == nullptr) {
+  const PinnedSnapshot snap = store_->Pinned(shard);
+  if (!snap) {
     throw std::runtime_error("shard " + rmap::ToString(shard) +
                              " has no published snapshot");
   }
@@ -250,9 +266,12 @@ ShardRouter::BatchResult ShardRouter::LocalizeBatch(
 
   // Pin one snapshot per shard group and validate every row up front, so a
   // malformed batch is rejected before any work fans out (and no exception
-  // can escape inside a pool worker).
+  // can escape inside a pool worker). The epoch pins live on this caller
+  // thread until the scatter below completes; pool workers dereference the
+  // pinned raw pointers safely because reclamation is gated on the minimum
+  // over *all* threads' pins (see EpochDomain).
   struct Group {
-    std::shared_ptr<const MapSnapshot> snapshot;
+    PinnedSnapshot snapshot;
     std::vector<size_t> rows;
     la::Matrix block;
   };
@@ -260,8 +279,8 @@ ShardRouter::BatchResult ShardRouter::LocalizeBatch(
   groups.reserve(by_shard.size());
   for (auto& [shard, rows] : by_shard) {
     Group g;
-    g.snapshot = store_->Current(shard);
-    if (g.snapshot == nullptr) {
+    g.snapshot = store_->Pinned(shard);
+    if (!g.snapshot) {
       throw std::runtime_error("shard " + rmap::ToString(shard) +
                                " has no published snapshot");
     }
@@ -278,10 +297,12 @@ ShardRouter::BatchResult ShardRouter::LocalizeBatch(
   }
   out.shard_groups = groups.size();
 
-  // Fan the per-shard groups across the pool; each group is one batched
-  // estimator pass, scattered back into row order.
-  std::lock_guard<std::mutex> lock(pool_mu_);
-  pool_.ParallelFor(groups.size(), [&](size_t /*worker*/, size_t gi) {
+  // Fan the per-shard groups across the pool under the work-stealing
+  // schedule (group costs are skewed by group size; per-group results are
+  // written to disjoint pre-resolved rows, so order independence holds).
+  // No serialization against other LocalizeBatch calls: each call is its
+  // own pool job and the caller works on it too.
+  pool_.ParallelForDynamic(groups.size(), [&](size_t /*worker*/, size_t gi) {
     Group& g = groups[gi];
     const std::vector<geom::Point> points =
         BatchLocalizer::LocalizeBatchOn(*g.snapshot, g.block);

@@ -70,7 +70,9 @@ ShardProfile BuildShardProfile(const MapSnapshot& snapshot);
 /// snapshot's lifetime via the returned shared_ptr.
 class ShardedSnapshotStore {
  public:
-  ShardedSnapshotStore() : table_(std::make_shared<const Table>()) {}
+  ShardedSnapshotStore() : table_(std::make_shared<const Table>()) {
+    table_raw_.store(table_.get(), std::memory_order_release);
+  }
 
   ShardedSnapshotStore(const ShardedSnapshotStore&) = delete;
   ShardedSnapshotStore& operator=(const ShardedSnapshotStore&) = delete;
@@ -83,9 +85,15 @@ class ShardedSnapshotStore {
   void Publish(const rmap::ShardId& id,
                std::shared_ptr<const MapSnapshot> snapshot);
 
-  /// Shard `id`'s current snapshot; nullptr when the shard is unknown.
-  /// Callers keep the shared_ptr for the whole request, exactly like
-  /// MapSnapshotStore::Current.
+  /// Hot path: shard `id`'s current snapshot pinned against reclamation
+  /// (null handle when the shard is unknown or not yet published). The
+  /// routing-table lookup and the snapshot load ride one epoch pin — no
+  /// atomic refcount op anywhere on the path.
+  PinnedSnapshot Pinned(const rmap::ShardId& id) const;
+
+  /// Slow path: shard `id`'s current snapshot; nullptr when the shard is
+  /// unknown. Callers keep the shared_ptr for the whole request, exactly
+  /// like MapSnapshotStore::Current.
   std::shared_ptr<const MapSnapshot> Current(const rmap::ShardId& id) const;
 
   /// Shard `id`'s AP profile; nullptr when the shard is unknown.
@@ -121,7 +129,11 @@ class ShardedSnapshotStore {
   }
 
   std::shared_ptr<const Table> table_;  ///< atomic access only; never null
-  std::mutex publish_mu_;               ///< serializes table mutation
+  /// Hot-path twin of table_ (same object): epoch-pinned readers resolve
+  /// shards through this raw pointer; displaced tables are retired into
+  /// the global epoch domain. Never null.
+  std::atomic<const Table*> table_raw_;
+  std::mutex publish_mu_;  ///< serializes table mutation
   std::atomic<uint64_t> publishes_{0};
 };
 
@@ -138,9 +150,12 @@ struct RouteDecision {
 /// Routes queries across a ShardedSnapshotStore.
 ///
 /// Thread-safety: all entry points are const and safe to call concurrently
-/// (the internal fan-out pool is serialized; classification and routing
-/// read only immutable snapshots/profiles). `store` must outlive the
-/// router. Failure semantics follow LocalizationServer: a query that cannot
+/// — concurrent LocalizeBatch calls share the fan-out pool and genuinely
+/// overlap (each call queues its own job; the pool's work-stealing schedule
+/// balances skewed shard groups). Classification and routing read only
+/// immutable snapshots/profiles through epoch-pinned loads. `store` must
+/// outlive the router. Failure semantics follow LocalizationServer: a
+/// query that cannot
 /// be routed — unknown shard, shard with no published snapshot yet, or a
 /// fingerprint with no observed AP — throws std::runtime_error rather than
 /// aborting, so one bad request never takes the serving process down.
@@ -196,11 +211,7 @@ class ShardRouter {
 
  private:
   const ShardedSnapshotStore* store_;
-  /// ThreadPool::ParallelFor is not reentrant; concurrent LocalizeBatch
-  /// calls serialize their fan-out (classification and gather/scatter still
-  /// overlap freely).
-  mutable std::mutex pool_mu_;
-  mutable ThreadPool pool_;
+  mutable ThreadPool pool_;  ///< shared by concurrent LocalizeBatch calls
 };
 
 }  // namespace rmi::serving

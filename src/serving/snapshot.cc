@@ -56,7 +56,14 @@ std::shared_ptr<const MapSnapshot> BuildSnapshot(
           dynamic_cast<positioning::KnnEstimator*>(estimator.get())) {
     knn->set_ranking_kernel(options.ranking_kernel);
   }
-  estimator->Fit(imputed_map, rng);
+  const bool warm = options.warm_previous != nullptr &&
+                    options.changed_rows != nullptr;
+  if (warm && options.warm_estimator) {
+    estimator->FitWarm(imputed_map, rng, options.warm_previous->estimator.get(),
+                       *options.changed_rows);
+  } else {
+    estimator->Fit(imputed_map, rng);
+  }
   snapshot->estimator = std::move(estimator);
   if (const auto* knn = dynamic_cast<const positioning::KnnEstimator*>(
           snapshot->estimator.get())) {
@@ -72,8 +79,31 @@ std::shared_ptr<const MapSnapshot> BuildSnapshot(
                                     &snapshot->positions);
     snapshot->fingerprint_view = &snapshot->owned_fingerprints;
   }
-  snapshot->index.Build(snapshot->fingerprints(), snapshot->positions,
-                        options.cell_size_m);
+  // Warm index reuse additionally requires that the previous snapshot's
+  // reference rows are a row-aligned prefix of ours: every map row labeled
+  // (changed_rows are map indices — extraction must not compact them; a
+  // case-deleting imputer fails this) and every surviving RP at the same
+  // position. BuildIncremental itself re-checks grid geometry and falls
+  // back cold on any mismatch.
+  bool warm_index = warm && options.warm_index &&
+                    snapshot->fingerprints().rows() == imputed_map.size() &&
+                    options.warm_previous->num_refs() <=
+                        snapshot->positions.size();
+  for (size_t i = 0; warm_index && i < options.warm_previous->num_refs();
+       ++i) {
+    const geom::Point& a = options.warm_previous->positions[i];
+    const geom::Point& b = snapshot->positions[i];
+    if (a.x != b.x || a.y != b.y) warm_index = false;
+  }
+  if (warm_index) {
+    snapshot->index.BuildIncremental(snapshot->fingerprints(),
+                                     snapshot->positions, options.cell_size_m,
+                                     options.warm_previous->index,
+                                     *options.changed_rows);
+  } else {
+    snapshot->index.Build(snapshot->fingerprints(), snapshot->positions,
+                          options.cell_size_m);
+  }
   snapshot->checksum = snapshot->ComputeChecksum();
   return snapshot;
 }
@@ -81,9 +111,36 @@ std::shared_ptr<const MapSnapshot> BuildSnapshot(
 void MapSnapshotStore::Publish(std::shared_ptr<const MapSnapshot> snapshot) {
   RMI_CHECK(snapshot != nullptr);
   RMI_CHECK(snapshot->Consistent());
-  std::atomic_store_explicit(&current_, std::move(snapshot),
-                             std::memory_order_release);
+  const MapSnapshot* raw = snapshot.get();
+  std::shared_ptr<const MapSnapshot> old;
+  {
+    // Serialize publishers so each retires exactly the snapshot it
+    // displaced (two unserialized swaps could both capture the same old
+    // value and leak the other).
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    old = std::atomic_exchange_explicit(&current_, std::move(snapshot),
+                                        std::memory_order_acq_rel);
+    // Raw pointer last of the two: a hot-path reader that loads the new
+    // raw pointer is guaranteed the slow-path protocol already agrees.
+    // Both stores precede the Retire below (seq_cst), so no reader can
+    // still load `old` after its retire epoch is stamped.
+    current_raw_.store(raw, std::memory_order_seq_cst);
+  }
   publishes_.fetch_add(1, std::memory_order_relaxed);
+  // Deferred release via the global domain. The retired entry holds a
+  // refcount, so this also covers slow-path Current() holders: reclaiming
+  // just drops our reference, and the snapshot frees when the last
+  // shared_ptr — wherever it lives — lets go.
+  EpochDomain::Global().Retire(
+      std::shared_ptr<const void>(std::move(old)));
+}
+
+PinnedSnapshot MapSnapshotStore::PinnedRead() const {
+  EpochDomain::Pin pin = EpochDomain::Global().MakePin();
+  // Pin first, pointer second (both seq_cst): see the safety argument in
+  // epoch.h for why this ordering makes the loaded pointer unreclaimable.
+  const MapSnapshot* snapshot = current_raw_.load(std::memory_order_seq_cst);
+  return PinnedSnapshot(std::move(pin), snapshot);
 }
 
 std::shared_ptr<const MapSnapshot> MapSnapshotStore::Current() const {

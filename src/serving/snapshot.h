@@ -5,20 +5,24 @@
 // fit) produces a complete radio map, BuildSnapshot freezes it — fitted
 // estimator, reference fingerprint matrix, RP labels, spatial index — into
 // one immutable MapSnapshot, and MapSnapshotStore::Publish swaps it in
-// atomically. In-flight queries keep the shared_ptr they grabbed, so a
+// atomically. In-flight queries hold the snapshot open — hot path via an
+// epoch pin (PinnedRead), slow path via a shared_ptr (Current) — so a
 // publish never blocks readers and a reader never observes a half-built
-// ("torn") snapshot; the old snapshot is freed when its last query drops
-// the reference.
+// ("torn") snapshot; the old snapshot is retired into the epoch domain and
+// freed once every pin taken before the swap has been released and every
+// slow-path reference dropped.
 #ifndef RMI_SERVING_SNAPSHOT_H_
 #define RMI_SERVING_SNAPSHOT_H_
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 #include "common/rng.h"
 #include "positioning/estimators.h"
 #include "radiomap/radio_map.h"
+#include "serving/epoch.h"
 #include "serving/spatial_index.h"
 
 namespace rmi::serving {
@@ -69,21 +73,72 @@ struct SnapshotOptions {
   /// estimators). Answers are bit-identical across kernels; this is a
   /// throughput knob, and the benches sweep it.
   positioning::RankingKernel ranking_kernel = positioning::RankingKernel::kQuant;
+  /// Warm-rebuild inputs (the live-update loop sets all three; a cold build
+  /// leaves them null). `warm_previous` is the snapshot being replaced,
+  /// `changed_rows` the ascending imputed-map rows whose values differ from
+  /// the map it was built on (appended rows included). Both must outlive
+  /// the BuildSnapshot call only — nothing is retained. Each warm stage
+  /// independently falls back to its cold path when reuse is unsound.
+  const MapSnapshot* warm_previous = nullptr;
+  const std::vector<size_t>* changed_rows = nullptr;
+  /// Per-stage kill switches for the warm path (meaningful only when the
+  /// two pointers above are set).
+  bool warm_estimator = true;
+  bool warm_index = true;
 };
 
 /// Freezes `imputed_map` (complete, labeled rows) + a *not yet fitted*
 /// estimator into a snapshot: fits the estimator, extracts the reference
 /// matrix/labels (from the estimator itself for the KNN family, so the
 /// spatial index is guaranteed row-aligned with the fitted state), builds
-/// the index, stamps the checksum.
+/// the index, stamps the checksum. With SnapshotOptions::warm_previous /
+/// changed_rows set, the estimator fit and index build go through their
+/// warm paths (FitWarm, BuildIncremental); each verifies its own reuse
+/// preconditions and degrades to the cold path, so the options are always
+/// safe to pass.
 std::shared_ptr<const MapSnapshot> BuildSnapshot(
     const rmap::RadioMap& imputed_map,
     std::unique_ptr<positioning::LocationEstimator> estimator, Rng& rng,
     const SnapshotOptions& options = {});
 
-/// The hot-swap point. Publish/Current use the atomic shared_ptr protocol,
-/// so readers are wait-free with respect to publishers: a query thread
-/// either sees the old snapshot or the new one, both complete.
+/// A snapshot reference held open by an epoch pin instead of a refcount:
+/// while this object lives, the snapshot cannot be reclaimed, at zero
+/// shared cache-line traffic on acquisition. Scope it to one request (or
+/// one batch) — a long-lived PinnedSnapshot blocks reclamation of every
+/// snapshot retired after it was taken. Movable; release on the pinning
+/// thread. The raw pointer may be handed to pool workers that outlive
+/// nothing: the pin gates reclamation globally, whichever thread
+/// dereferences (see EpochDomain).
+class PinnedSnapshot {
+ public:
+  PinnedSnapshot() = default;
+  PinnedSnapshot(EpochDomain::Pin pin, const MapSnapshot* snapshot)
+      : pin_(std::move(pin)), snapshot_(snapshot) {}
+
+  const MapSnapshot* get() const { return snapshot_; }
+  const MapSnapshot& operator*() const { return *snapshot_; }
+  const MapSnapshot* operator->() const { return snapshot_; }
+  explicit operator bool() const { return snapshot_ != nullptr; }
+
+ private:
+  EpochDomain::Pin pin_;
+  const MapSnapshot* snapshot_ = nullptr;
+};
+
+/// The hot-swap point, with two read protocols against one published
+/// value:
+///
+///  * PinnedRead() — the hot path. An epoch pin plus a raw pointer load:
+///    no refcount RMW, no shared line bounced between reader cores.
+///  * Current() — the slow path. The classic atomic shared_ptr load, for
+///    callers that must hold the snapshot past any pin scope (background
+///    comparisons, tests, code not yet migrated).
+///
+/// Both see the same swap at the same instant; a publish retires the old
+/// snapshot through the global epoch domain, whose deferred release also
+/// respects outstanding slow-path shared_ptrs (the retired entry only
+/// drops a refcount when reclaimed — it frees the snapshot iff no
+/// shared_ptr holder remains).
 class MapSnapshotStore {
  public:
   MapSnapshotStore() = default;
@@ -94,12 +149,20 @@ class MapSnapshotStore {
   MapSnapshotStore(const MapSnapshotStore&) = delete;
   MapSnapshotStore& operator=(const MapSnapshotStore&) = delete;
 
-  /// Atomically replaces the current snapshot. Never blocks readers.
+  /// Atomically replaces the current snapshot and retires the previous one
+  /// into the global epoch domain. Never blocks readers; concurrent
+  /// publishers serialize among themselves.
   void Publish(std::shared_ptr<const MapSnapshot> snapshot);
 
-  /// The current snapshot (nullptr before the first Publish). Callers keep
-  /// the returned shared_ptr for the whole request so a concurrent publish
-  /// cannot free the state under them.
+  /// Hot path: the current snapshot pinned against reclamation for the
+  /// lifetime of the returned handle (engaged-but-null before the first
+  /// Publish). One private epoch-slot store + one raw load — no atomic
+  /// refcount op.
+  PinnedSnapshot PinnedRead() const;
+
+  /// Slow path: the current snapshot as a shared_ptr (nullptr before the
+  /// first Publish). Callers keep it for the whole request so a concurrent
+  /// publish cannot free the state under them.
   std::shared_ptr<const MapSnapshot> Current() const;
 
   uint64_t publish_count() const {
@@ -107,7 +170,12 @@ class MapSnapshotStore {
   }
 
  private:
-  std::shared_ptr<const MapSnapshot> current_;
+  mutable std::mutex publish_mu_;
+  std::shared_ptr<const MapSnapshot> current_;  ///< slow-path protocol
+  /// Hot-path protocol: same object as current_, loadable without touching
+  /// the control block. Swapped before the old value is retired, so a
+  /// pinned reader only ever loads live-or-retired-after-pin pointers.
+  std::atomic<const MapSnapshot*> current_raw_{nullptr};
   std::atomic<uint64_t> publishes_{0};
 };
 

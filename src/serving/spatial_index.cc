@@ -55,9 +55,12 @@ void SpatialIndex::Build(const la::Matrix& refs,
   RMI_CHECK_EQ(refs.rows(), positions.size());
   RMI_CHECK_GT(cell_size_m, 0.0);
   cells_.clear();
+  slot_.clear();
   cell_size_m_ = cell_size_m;
   dim_ = refs.cols();
   num_refs_ = refs.rows();
+  grid_cols_ = grid_rows_ = 0;
+  min_x_ = min_y_ = 0.0;
   if (num_refs_ == 0) return;
 
   double min_x = positions[0].x, max_x = positions[0].x;
@@ -68,17 +71,19 @@ void SpatialIndex::Build(const la::Matrix& refs,
     min_y = std::min(min_y, p.y);
     max_y = std::max(max_y, p.y);
   }
-  const size_t cols = std::max<size_t>(
+  min_x_ = min_x;
+  min_y_ = min_y;
+  grid_cols_ = std::max<size_t>(
       1, static_cast<size_t>(std::ceil((max_x - min_x) / cell_size_m)) + 1);
-  const size_t rows = std::max<size_t>(
+  grid_rows_ = std::max<size_t>(
       1, static_cast<size_t>(std::ceil((max_y - min_y) / cell_size_m)) + 1);
-  std::vector<int> slot(rows * cols, -1);
+  slot_.assign(grid_rows_ * grid_cols_, -1);
   for (size_t i = 0; i < num_refs_; ++i) {
     size_t gx = static_cast<size_t>((positions[i].x - min_x) / cell_size_m);
     size_t gy = static_cast<size_t>((positions[i].y - min_y) / cell_size_m);
-    gx = std::min(gx, cols - 1);
-    gy = std::min(gy, rows - 1);
-    int& s = slot[gy * cols + gx];
+    gx = std::min(gx, grid_cols_ - 1);
+    gy = std::min(gy, grid_rows_ - 1);
+    int& s = slot_[gy * grid_cols_ + gx];
     if (s < 0) {
       s = static_cast<int>(cells_.size());
       cells_.emplace_back();
@@ -86,27 +91,118 @@ void SpatialIndex::Build(const la::Matrix& refs,
     cells_[static_cast<size_t>(s)].members.push_back(i);
   }
 
-  // Fingerprint-space centroid + covering radius per (non-empty) cell.
-  for (Cell& cell : cells_) {
-    cell.centroid.assign(dim_, 0.0);
-    for (size_t m : cell.members) {
-      const double* row = refs.data().data() + m * dim_;
-      for (size_t j = 0; j < dim_; ++j) cell.centroid[j] += row[j];
-    }
-    const double inv = 1.0 / static_cast<double>(cell.members.size());
-    for (double& v : cell.centroid) v *= inv;
-    double max_sq = 0.0;
-    for (size_t m : cell.members) {
-      const double* row = refs.data().data() + m * dim_;
-      double s = 0.0;
-      for (size_t j = 0; j < dim_; ++j) {
-        const double d = row[j] - cell.centroid[j];
-        s += d * d;
-      }
-      max_sq = std::max(max_sq, s);
-    }
-    cell.radius = std::sqrt(max_sq);
+  for (Cell& cell : cells_) RefreshCell(&cell, refs);
+}
+
+void SpatialIndex::RefreshCell(Cell* cell, const la::Matrix& refs) const {
+  // Fingerprint-space centroid + covering radius over the members, summed
+  // in member order (ascending row) so a refreshed cell is bit-equal to a
+  // cold-built one.
+  cell->centroid.assign(dim_, 0.0);
+  for (size_t m : cell->members) {
+    const double* row = refs.data().data() + m * dim_;
+    for (size_t j = 0; j < dim_; ++j) cell->centroid[j] += row[j];
   }
+  const double inv = 1.0 / static_cast<double>(cell->members.size());
+  for (double& v : cell->centroid) v *= inv;
+  double max_sq = 0.0;
+  for (size_t m : cell->members) {
+    const double* row = refs.data().data() + m * dim_;
+    double s = 0.0;
+    for (size_t j = 0; j < dim_; ++j) {
+      const double d = row[j] - cell->centroid[j];
+      s += d * d;
+    }
+    max_sq = std::max(max_sq, s);
+  }
+  cell->radius = std::sqrt(max_sq);
+}
+
+void SpatialIndex::BuildIncremental(const la::Matrix& refs,
+                                    const std::vector<geom::Point>& positions,
+                                    double cell_size_m,
+                                    const SpatialIndex& previous,
+                                    const std::vector<size_t>& changed_rows) {
+  RMI_CHECK_EQ(refs.rows(), positions.size());
+  RMI_CHECK_GT(cell_size_m, 0.0);
+  const size_t n = refs.rows();
+
+  // Reuse is only sound when the assignment function old rows were
+  // bucketed under is unchanged: same pitch, same feature width, same
+  // bounding-box origin and grid dimensions over the *new* position set,
+  // and no surviving row vanished. Anything else — including a new RP
+  // stretching the bounding box — shifts assignments, so build cold.
+  bool reusable = previous.num_refs_ > 0 && n >= previous.num_refs_ &&
+                  previous.cell_size_m_ == cell_size_m &&
+                  previous.dim_ == refs.cols();
+  if (reusable) {
+    double min_x = positions[0].x, max_x = positions[0].x;
+    double min_y = positions[0].y, max_y = positions[0].y;
+    for (const geom::Point& p : positions) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+    }
+    const size_t cols = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil((max_x - min_x) / cell_size_m)) + 1);
+    const size_t rows = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil((max_y - min_y) / cell_size_m)) + 1);
+    reusable = min_x == previous.min_x_ && min_y == previous.min_y_ &&
+               cols == previous.grid_cols_ && rows == previous.grid_rows_;
+  }
+  size_t appended_listed = 0;
+  for (size_t i = 0; reusable && i < changed_rows.size(); ++i) {
+    if (changed_rows[i] >= n ||
+        (i > 0 && changed_rows[i] <= changed_rows[i - 1])) {
+      reusable = false;  // out of range or not strictly ascending
+    } else if (changed_rows[i] >= previous.num_refs_) {
+      ++appended_listed;
+    }
+  }
+  // Every appended row must be listed, or it would never join a cell.
+  // Strictly-ascending entries in [num_refs, n) counting n - num_refs
+  // means they are exactly the appended rows.
+  if (appended_listed != n - previous.num_refs_) reusable = false;
+  if (!reusable) {
+    Build(refs, positions, cell_size_m);
+    return;
+  }
+
+  cells_ = previous.cells_;
+  slot_ = previous.slot_;
+  cell_size_m_ = cell_size_m;
+  dim_ = previous.dim_;
+  num_refs_ = n;
+  min_x_ = previous.min_x_;
+  min_y_ = previous.min_y_;
+  grid_cols_ = previous.grid_cols_;
+  grid_rows_ = previous.grid_rows_;
+
+  // Changed surviving rows are already members of their cell (an RP label
+  // never moves); appended rows are inserted in ascending order, which is
+  // exactly where a cold Build would have put them. Either way the cell's
+  // summary is stale, so collect and refresh the touched cells.
+  std::vector<size_t> affected;
+  for (size_t r : changed_rows) {
+    size_t gx = static_cast<size_t>((positions[r].x - min_x_) / cell_size_m);
+    size_t gy = static_cast<size_t>((positions[r].y - min_y_) / cell_size_m);
+    gx = std::min(gx, grid_cols_ - 1);
+    gy = std::min(gy, grid_rows_ - 1);
+    int& s = slot_[gy * grid_cols_ + gx];
+    if (s < 0) {
+      s = static_cast<int>(cells_.size());
+      cells_.emplace_back();
+    }
+    if (r >= previous.num_refs_) {
+      cells_[static_cast<size_t>(s)].members.push_back(r);
+    }
+    affected.push_back(static_cast<size_t>(s));
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  for (size_t c : affected) RefreshCell(&cells_[c], refs);
 }
 
 size_t SpatialIndex::last_scored() { return LastScoredSlot(); }

@@ -57,6 +57,22 @@ class SpatialIndex {
   void Build(const la::Matrix& refs, const std::vector<geom::Point>& positions,
              double cell_size_m);
 
+  /// Incremental rebuild for the live-update loop: `previous` indexed the
+  /// first `previous.num_refs()` rows of (`refs`, `positions`), and only
+  /// the rows in `changed_rows` (ascending; appended rows included) carry
+  /// different fingerprint values now — positions of surviving rows are
+  /// unchanged (an RP label never moves; only its imputed RSSIs do).
+  /// Copies the grid and refreshes just the cells a changed row touches:
+  /// the result is *identical* to a cold Build — same cells, same member
+  /// order, bit-equal centroids — because unchanged cells see the same
+  /// members in the same order. Falls back to a cold Build whenever the
+  /// grid geometry moved (a new RP outside the old bounding box, different
+  /// pitch or width) or `previous` is empty.
+  void BuildIncremental(const la::Matrix& refs,
+                        const std::vector<geom::Point>& positions,
+                        double cell_size_m, const SpatialIndex& previous,
+                        const std::vector<size_t>& changed_rows);
+
   /// Exact KNN of `query` (kNull entries allowed), identical to
   /// BruteForceKnn(refs, query, k) — including at the boundaries: k >=
   /// the reference count returns every row ascending by (distance, index),
@@ -68,6 +84,7 @@ class SpatialIndex {
 
   bool empty() const { return cells_.empty(); }
   size_t num_cells() const { return cells_.size(); }
+  size_t num_refs() const { return num_refs_; }
   double cell_size_m() const { return cell_size_m_; }
 
   /// Rows scored by the last Search on this thread, for prune-rate
@@ -81,10 +98,19 @@ class SpatialIndex {
     double radius = 0.0;             ///< max member distance to centroid
   };
 
+  /// Recomputes `cell`'s centroid and covering radius from its members.
+  void RefreshCell(Cell* cell, const la::Matrix& refs) const;
+
   std::vector<Cell> cells_;
   double cell_size_m_ = 0.0;
   size_t dim_ = 0;
   size_t num_refs_ = 0;
+  /// Grid geometry (origin at the positions' bounding-box min corner) and
+  /// the grid-slot -> cells_ map, retained so BuildIncremental can place a
+  /// changed row without re-bucketing the world. Empty when num_refs_ == 0.
+  double min_x_ = 0.0, min_y_ = 0.0;
+  size_t grid_cols_ = 0, grid_rows_ = 0;
+  std::vector<int> slot_;  ///< grid_rows_ * grid_cols_; -1 = empty cell
 };
 
 }  // namespace rmi::serving

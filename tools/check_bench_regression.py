@@ -90,6 +90,31 @@ BENCHES = [
             "one_shard.incremental.p95_ms",
         ],
     ),
+    # Multicore scaling. The single-thread qps gate everywhere; the
+    # 4-thread-vs-1-thread speedup ratios (5th tuple element) only measure
+    # real parallelism on a runner with >= 4 cores, so they gate only when
+    # the fresh JSON's hardware block reports that — on smaller runners
+    # they are demoted to context. The committed speedup baselines are
+    # floors chosen so the 15% tolerance lands at the 1.5x acceptance bar,
+    # not measurements to chase.
+    (
+        "BENCH_scaling.json",
+        "scaling.json",
+        [
+            "serving.t1.qps",
+            "sharded.t1.qps",
+            "rebuild.t1.qps",
+        ],
+        [
+            "serving.t1.p95_us",
+            "rebuild_speedup_4t",
+            "hardware.hardware_concurrency",
+        ],
+        [
+            "serving_speedup_4t",
+            "sharded_speedup_4t",
+        ],
+    ),
 ]
 
 
@@ -119,7 +144,9 @@ def main():
     floor = 1.0 - args.max_regression
 
     failures = []
-    for fresh_name, baseline_name, keys, context_keys in BENCHES:
+    for entry in BENCHES:
+        fresh_name, baseline_name, keys, context_keys = entry[:4]
+        multicore_keys = entry[4] if len(entry) > 4 else []
         fresh_path = fresh_dir / fresh_name
         baseline_path = baseline_dir / baseline_name
         if not baseline_path.exists():
@@ -131,6 +158,16 @@ def main():
         fresh = json.loads(fresh_path.read_text())
         baseline = json.loads(baseline_path.read_text())
         print(f"[gate] {fresh_name} vs {baseline_path}")
+        if multicore_keys:
+            hw = lookup(fresh, "hardware.hardware_concurrency") or 0
+            if hw >= 4:
+                keys = list(keys) + list(multicore_keys)
+            else:
+                print(
+                    f"  (runner has {hw} hardware threads < 4 — scaling "
+                    "ratios demoted to context)"
+                )
+                context_keys = list(context_keys) + list(multicore_keys)
         for key in keys:
             base_value = lookup(baseline, key)
             if base_value is None:
