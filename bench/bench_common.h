@@ -17,6 +17,7 @@
 
 #include "common/table.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "eval/factories.h"
 #include "eval/pipeline.h"
 #include "survey/survey.h"
@@ -125,6 +126,16 @@ inline void WriteHardwareJson(std::FILE* f, size_t bench_threads) {
                "\"bench_threads\": %zu, \"cpu_model\": \"%s\"}",
                std::thread::hardware_concurrency(), bench_threads,
                CpuModelName().c_str());
+}
+
+/// Writes the shared `"metrics"` JSON member (one line, trailing comma):
+/// the observability registry's DumpJson() snapshot at the moment the
+/// bench finishes. Every BENCH_*.json carries it so a regression report
+/// can be cross-checked against what the engine actually did (batches
+/// coalesced, rebuild phases, pool steals) instead of just the headline
+/// qps. DumpJson() already emits a complete JSON object.
+inline void WriteObsMetricsJson(std::FILE* f) {
+  std::fprintf(f, "  \"metrics\": %s,\n", obs::DumpJson().c_str());
 }
 
 }  // namespace rmi::bench

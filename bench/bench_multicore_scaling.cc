@@ -263,6 +263,7 @@ int main(int argc, char** argv) {
                  "  \"sharded_speedup_4t\": %.3f,\n"
                  "  \"rebuild_speedup_4t\": %.3f,\n",
                  serving_speedup, sharded_speedup, rebuild_speedup);
+    bench::WriteObsMetricsJson(f);
     bench::WriteHardwareJson(f, counts.back());
     std::fprintf(f, "\n}\n");
     std::fclose(f);

@@ -1,0 +1,227 @@
+// Observability overhead A/B: the identical serving workload with the
+// obs layer fully disabled vs fully enabled (sharded metrics + 1-in-64
+// request trace sampling), alternated over several rounds so machine
+// drift hits both arms equally. The acceptance bar is
+// enabled_qps / disabled_qps >= 0.98 — the instrumentation must cost
+// no more than 2% of throughput.
+//
+//   ./bench_obs_overhead            # full sizes, console table
+//   ./bench_obs_overhead --smoke    # CI sizes + BENCH_obs.json
+//   ./bench_obs_overhead --json=out.json --scrape=OBS_scrape.txt
+//
+// Two workloads, each A/B'd:
+//   batch  — the raw EstimateBatch ranking loop (exercises the
+//            estimator-stage timers, the tightest loop we instrument);
+//   server — LocalizationServer under concurrent clients (exercises the
+//            queue-depth gauge, batch/stage histograms, and the trace
+//            sampler on the Submit path).
+// Each arm's qps is the best of the rounds (best-of cancels scheduler
+// noise far better than the mean on shared runners); the headline
+// enabled_over_disabled is the worse of the two workload ratios.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "geometry/geometry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "positioning/estimators.h"
+#include "serving/server.h"
+#include "serving/snapshot.h"
+#include "serving/synthetic.h"
+
+namespace {
+
+using namespace rmi;
+using serving::MakeSyntheticQueries;
+using serving::MakeSyntheticServingMap;
+using serving::MatrixRow;
+
+// Defeats dead-code elimination of the estimate loops.
+volatile double g_sink = 0.0;
+
+constexpr uint64_t kSampleEvery = 64;
+
+void SetMode(bool enabled) {
+  obs::SetEnabled(enabled);
+  obs::Tracer::Global().SetSampleEvery(enabled ? kSampleEvery : 0);
+}
+
+double RunBatchWorkload(positioning::KnnEstimator& knn,
+                        const la::Matrix& queries, size_t batch_size) {
+  const size_t num_queries = queries.rows();
+  Timer t;
+  geom::Point sink;
+  for (size_t off = 0; off < num_queries; off += batch_size) {
+    const la::Matrix block =
+        queries.SliceRows(off, std::min(off + batch_size, num_queries));
+    for (const geom::Point& p : knn.EstimateBatch(block)) {
+      sink = sink + p;
+    }
+  }
+  const double qps = double(num_queries) / t.ElapsedSeconds();
+  g_sink = g_sink + sink.x;
+  return qps;
+}
+
+double RunServerWorkload(serving::MapSnapshotStore* store,
+                         const la::Matrix& queries, size_t batch_size) {
+  const size_t num_queries = queries.rows();
+  serving::ServerOptions opt;
+  opt.max_batch = batch_size;
+  opt.max_wait_us = 200.0;
+  opt.num_workers = 2;
+  serving::LocalizationServer server(store, opt);
+  const size_t num_clients = 4;
+  const size_t per_client = num_queries / num_clients;
+  Timer t;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      const size_t window = 16;
+      std::vector<std::future<geom::Point>> inflight;
+      inflight.reserve(window);
+      for (size_t i = 0; i < per_client; ++i) {
+        inflight.push_back(
+            server.Submit(MatrixRow(queries, c * per_client + i)));
+        if (inflight.size() == window) {
+          for (auto& f : inflight) f.get();
+          inflight.clear();
+        }
+      }
+      for (auto& f : inflight) f.get();
+    });
+  }
+  for (auto& t2 : clients) t2.join();
+  const double qps =
+      double(per_client * num_clients) / t.ElapsedSeconds();
+  server.Stop();
+  return qps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  std::string scrape_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      if (json_path.empty()) json_path = "BENCH_obs.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--scrape=", 9) == 0) {
+      scrape_path = argv[i] + 9;
+    }
+  }
+
+  const size_t nx = 50, ny = 40, num_aps = 96;
+  const size_t batch_size = 64;
+  const size_t num_queries = smoke ? 4096 : 16384;
+  const size_t rounds = smoke ? 5 : 7;
+  std::printf("=== obs overhead — %zu-RP map, %zu queries x %zu rounds, "
+              "1-in-%llu sampling ===\n",
+              nx * ny, num_queries, rounds,
+              (unsigned long long)kSampleEvery);
+
+  const rmap::RadioMap map = MakeSyntheticServingMap(nx, ny, num_aps, 11);
+  Rng rng(7);
+  auto snapshot = serving::BuildSnapshot(
+      map, std::make_unique<positioning::KnnEstimator>(5, true), rng);
+  const la::Matrix queries = MakeSyntheticQueries(map, num_queries, 0.0, 21);
+
+  positioning::KnnEstimator knn(5, true);
+  {
+    Rng fit_rng(7);
+    knn.Fit(map, fit_rng);
+  }
+  serving::MapSnapshotStore store(snapshot);
+
+  double batch_qps[2] = {0.0, 0.0};   // [disabled, enabled]
+  double server_qps[2] = {0.0, 0.0};
+  // One untimed warm-up of each workload (page-in, pool spin-up), then
+  // the timed rounds alternate which arm goes first.
+  SetMode(false);
+  RunBatchWorkload(knn, queries, batch_size);
+  RunServerWorkload(&store, queries, batch_size);
+  for (size_t r = 0; r < rounds; ++r) {
+    for (int step = 0; step < 2; ++step) {
+      const bool enabled = (static_cast<int>(r) + step) % 2 != 0;
+      SetMode(enabled);
+      batch_qps[enabled] =
+          std::max(batch_qps[enabled], RunBatchWorkload(knn, queries, batch_size));
+      server_qps[enabled] = std::max(
+          server_qps[enabled], RunServerWorkload(&store, queries, batch_size));
+    }
+  }
+  // Leave the layer enabled so the scrape/metrics dumps below reflect a
+  // live configuration.
+  SetMode(true);
+
+  const double batch_ratio = batch_qps[1] / batch_qps[0];
+  const double server_ratio = server_qps[1] / server_qps[0];
+  const double headline = std::min(batch_ratio, server_ratio);
+  std::printf("batch  EstimateBatch:  disabled %10.0f qps   enabled %10.0f qps"
+              "   ratio %.4f\n",
+              batch_qps[0], batch_qps[1], batch_ratio);
+  std::printf("server concurrent:     disabled %10.0f qps   enabled %10.0f qps"
+              "   ratio %.4f\n",
+              server_qps[0], server_qps[1], server_ratio);
+  std::printf("enabled_over_disabled (worst arm): %.4f   "
+              "(acceptance floor 0.98)\n",
+              headline);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"rounds\": %zu,\n"
+        "  \"num_queries\": %zu,\n"
+        "  \"batch_size\": %zu,\n"
+        "  \"sample_every\": %llu,\n"
+        "  \"batch\": {\"disabled_qps\": %.1f, \"enabled_qps\": %.1f,"
+        " \"enabled_over_disabled\": %.4f},\n"
+        "  \"server\": {\"disabled_qps\": %.1f, \"enabled_qps\": %.1f,"
+        " \"enabled_over_disabled\": %.4f},\n"
+        "  \"enabled_over_disabled\": %.4f,\n",
+        rounds, num_queries, batch_size, (unsigned long long)kSampleEvery,
+        batch_qps[0], batch_qps[1], batch_ratio, server_qps[0], server_qps[1],
+        server_ratio, headline);
+    rmi::bench::WriteObsMetricsJson(f);
+    rmi::bench::WriteHardwareJson(f, 2);
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  if (!scrape_path.empty()) {
+    std::FILE* f = std::fopen(scrape_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", scrape_path.c_str());
+      return 1;
+    }
+    const std::string text = obs::DumpPrometheusText();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu bytes)\n", scrape_path.c_str(), text.size());
+  }
+  if (headline < 0.98) {
+    std::fprintf(stderr,
+                 "WARNING: obs overhead ratio %.4f below the 0.98 "
+                 "acceptance bar\n",
+                 headline);
+  }
+  return 0;
+}

@@ -318,6 +318,7 @@ int main(int argc, char** argv) {
                  "  \"speedup_p95_pool_only\": %.3f,\n"
                  "  \"speedup_staleness\": %.3f,\n",
                  speedup_p95, speedup_p95_pool, speedup_staleness);
+    rmi::bench::WriteObsMetricsJson(f);
     rmi::bench::WriteHardwareJson(f, eight.rebuild_threads);
     std::fprintf(f, "\n}\n");
     std::fclose(f);

@@ -265,6 +265,7 @@ int main(int argc, char** argv) {
         pruned_qps, scored_fraction, stats.qps, stats.p50_latency_us,
         stats.p95_latency_us, stats.p99_latency_us, stats.mean_batch_size,
         hot_swaps);
+    rmi::bench::WriteObsMetricsJson(f);
     rmi::bench::WriteHardwareJson(f, server_opt.num_workers);
     std::fprintf(f, "\n}\n");
     std::fclose(f);

@@ -281,6 +281,7 @@ int main(int argc, char** argv) {
         routed_qps, routed_qps / baseline_qps, update_qps, batch_size,
         rebuilds, 1e3 * rebuild_seconds, scenario.stale_ape,
         scenario.updated_ape, scenario.ingested);
+    rmi::bench::WriteObsMetricsJson(f);
     rmi::bench::WriteHardwareJson(f, ThreadPool::DefaultThreads());
     std::fprintf(f, "\n}\n");
     std::fclose(f);

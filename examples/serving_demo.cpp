@@ -1,7 +1,9 @@
 // The online localization engine end to end: build a snapshot from an
 // imputed radio map, serve concurrent partial-fingerprint queries through
 // the batching LocalizationServer, and hot-swap a re-imputed snapshot under
-// load without dropping a single request.
+// load without dropping a single request — with the observability layer
+// on, so shutdown prints the Prometheus scrape and one sampled request
+// trace the way a production sidecar would see them.
 #include <algorithm>
 #include <cstdio>
 #include <future>
@@ -10,12 +12,17 @@
 
 #include "eval/factories.h"
 #include "eval/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serving/server.h"
 #include "serving/snapshot.h"
 #include "survey/survey.h"
 
 int main() {
   using namespace rmi;
+  // Metrics are on by default; turn on request tracing too (1-in-16 —
+  // the demo submits ~120 requests, so a handful get traced).
+  obs::Tracer::Global().SetSampleEvery(16);
   const survey::SurveyDataset ds = survey::MakeKaideDataset(/*scale=*/0.12);
   std::printf("venue: %zu APs, %zu survey records (%.0f%% RSSIs missing)\n",
               ds.venue.aps.size(), ds.map.size(),
@@ -101,5 +108,18 @@ int main() {
               stats.completed, stats.batches, stats.mean_batch_size,
               stats.p50_latency_us, stats.p95_latency_us,
               stats.p99_latency_us);
+
+  // What a metrics sidecar would scrape from this process right now.
+  std::printf("\n--- /metrics (Prometheus text format) ---\n%s",
+              obs::DumpPrometheusText().c_str());
+
+  // One sampled request, stage by stage (the most recent completed one).
+  const std::vector<obs::Trace> traces = obs::Tracer::Global().Recent();
+  if (!traces.empty()) {
+    std::printf("--- sampled trace (%llu finished, ring keeps %zu) ---\n%s",
+                static_cast<unsigned long long>(
+                    obs::Tracer::Global().finished_total()),
+                traces.size(), traces.back().ToString().c_str());
+  }
   return 0;
 }

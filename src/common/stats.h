@@ -8,7 +8,9 @@
 
 namespace rmi {
 
-/// Streaming mean/variance (Welford).
+/// Streaming mean/variance (Welford). Accumulators built on independent
+/// shards (one per thread, the obs/ registry idiom) combine with Merge()
+/// into the same moments a single-stream accumulation would produce.
 class RunningStats {
  public:
   void Add(double x) {
@@ -18,6 +20,40 @@ class RunningStats {
     m2_ += delta * (x - mean_);
     if (x < min_ || n_ == 1) min_ = x;
     if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  /// Folds an independently-accumulated stream into this one (Chan et
+  /// al.'s pairwise update): count/mean/variance/min/max afterwards match
+  /// a single accumulator that saw both streams' samples, up to rounding.
+  void Merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const size_t n = n_ + other.n_;
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) /
+                           static_cast<double>(n);
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    n_ = n;
+  }
+
+  /// Rebuilds an accumulator from raw moments (m2 = sum of squared
+  /// deviations from the mean) — how a metrics shard that kept
+  /// count/sum/sumsq in atomics re-enters the Merge chain.
+  static RunningStats FromMoments(size_t n, double mean, double m2,
+                                  double min, double max) {
+    RunningStats s;
+    s.n_ = n;
+    s.mean_ = n ? mean : 0.0;
+    s.m2_ = n ? m2 : 0.0;
+    s.min_ = n ? min : 0.0;
+    s.max_ = n ? max : 0.0;
+    return s;
   }
 
   size_t count() const { return n_; }

@@ -44,8 +44,32 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace rmi {
+
+namespace pool_detail {
+
+/// Process-wide pool series, shared by every ThreadPool instance. The
+/// handles are touched in the pool constructor so the series appear in a
+/// scrape even when every fan-out runs inline (1-core hosts).
+struct PoolMetrics {
+  obs::Counter& jobs = obs::GetCounter(
+      "rmi_pool_jobs_total", "Fan-out jobs submitted to any thread pool");
+  obs::Counter& steals = obs::GetCounter(
+      "rmi_pool_steals_total",
+      "Successful back-half range steals in dynamic scheduling");
+  obs::Counter& helps = obs::GetCounter(
+      "rmi_pool_help_front_total",
+      "Times an idle pool worker joined the front job");
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* m = new PoolMetrics();
+    return *m;
+  }
+};
+
+}  // namespace pool_detail
 
 class ThreadPool {
  public:
@@ -58,6 +82,7 @@ class ThreadPool {
       : num_threads_(InsideWorker() ? 1
                      : num_threads == 0 ? DefaultThreads()
                                         : num_threads) {
+    pool_detail::PoolMetrics::Get();
     for (size_t w = 1; w < num_threads_; ++w) {
       workers_.emplace_back([this] { WorkerLoop(); });
     }
@@ -138,6 +163,7 @@ class ThreadPool {
   void Run(size_t count, const std::function<void(size_t, size_t)>& fn,
            bool dynamic) {
     if (count == 0) return;
+    pool_detail::PoolMetrics::Get().jobs.Add();
     if (num_threads_ <= 1 || InsideWorker()) {
       for (size_t i = 0; i < count; ++i) fn(0, i);
       return;
@@ -258,6 +284,7 @@ class ThreadPool {
               std::memory_order_acq_rel, std::memory_order_acquire)) {
         continue;  // lost the race; rescan for a victim
       }
+      pool_detail::PoolMetrics::Get().steals.Add();
       // Adopt the stolen half as our own range (we are its only owner; our
       // span is empty, so no thief can have claimed it meanwhile — but one
       // may be mid-CAS on the stale empty value, so publish with a CAS).
@@ -290,6 +317,7 @@ class ThreadPool {
         // popped once a participant finds it exhausted.
         job = jobs_.front();
       }
+      pool_detail::PoolMetrics::Get().helps.Add();
       Participate(job.get());
       {
         std::lock_guard<std::mutex> lock(mu_);

@@ -9,10 +9,28 @@
 #include "common/topc.h"
 #include "la/kernels.h"
 #include "la/quant.h"
+#include "obs/metrics.h"
 
 namespace rmi::positioning {
 
 namespace {
+
+/// Per-batch stage histograms of the batched KNN path (one timer pair per
+/// batch — 4 clock reads total, nothing per row). Shared by the float and
+/// quantized kernels.
+struct EstimatorMetrics {
+  obs::Histogram& rank_us = obs::GetHistogram(
+      "rmi_estimator_stage_rank_us",
+      "Cross-term ranking (Gemm family) per batch, microseconds");
+  obs::Histogram& rescore_us = obs::GetHistogram(
+      "rmi_estimator_stage_rescore_us",
+      "Top-c selection + exact rescore per batch, microseconds");
+
+  static EstimatorMetrics& Get() {
+    static EstimatorMetrics* m = new EstimatorMetrics();
+    return *m;
+  }
+};
 
 /// ExtractLabeledRows reshaped into the vector-of-rows form the random
 /// forest's split search indexes by.
@@ -163,23 +181,26 @@ std::vector<geom::Point> KnnEstimator::EstimateBatch(
   la::Matrix cross;  // b x r
   la::Matrix zeroed, mask, masked_norms;
   const la::Matrix* queries = &fingerprints;
-  if (any_partial) {
-    la::CwiseUnaryInto(fingerprints, &zeroed,
-                       [](double v) { return IsNull(v) ? 0.0 : v; });
-    la::CwiseUnaryInto(fingerprints, &mask,
-                       [](double v) { return IsNull(v) ? 0.0 : 1.0; });
-    queries = &zeroed;
-    // Masked reference norms: sum_j m_ij * f_kj^2 = (M x (F o F)^T)_ik.
-    if (fast) {
-      la::GemmFastNN(mask, features_sq_t_, &masked_norms);
-    } else {
-      la::Gemm(1.0, mask, false, features_sq_t_, false, 0.0, &masked_norms);
+  {
+    obs::ScopedStageTimer rank_timer(EstimatorMetrics::Get().rank_us);
+    if (any_partial) {
+      la::CwiseUnaryInto(fingerprints, &zeroed,
+                         [](double v) { return IsNull(v) ? 0.0 : v; });
+      la::CwiseUnaryInto(fingerprints, &mask,
+                         [](double v) { return IsNull(v) ? 0.0 : 1.0; });
+      queries = &zeroed;
+      // Masked reference norms: sum_j m_ij * f_kj^2 = (M x (F o F)^T)_ik.
+      if (fast) {
+        la::GemmFastNN(mask, features_sq_t_, &masked_norms);
+      } else {
+        la::Gemm(1.0, mask, false, features_sq_t_, false, 0.0, &masked_norms);
+      }
     }
-  }
-  if (fast) {
-    la::GemmFastNN(*queries, features_t_, &cross);
-  } else {
-    la::Gemm(1.0, *queries, false, features_t_, false, 0.0, &cross);
+    if (fast) {
+      la::GemmFastNN(*queries, features_t_, &cross);
+    } else {
+      la::Gemm(1.0, *queries, false, features_t_, false, 0.0, &cross);
+    }
   }
 
   // Per row: rank by (reference norm - 2 cross) — the query norm is
@@ -198,6 +219,7 @@ std::vector<geom::Point> KnnEstimator::EstimateBatch(
   std::vector<std::pair<double, size_t>> exact;
   StreamingTopC<double> top(num_candidates,
                             std::numeric_limits<double>::infinity());
+  obs::ScopedStageTimer rescore_timer(EstimatorMetrics::Get().rescore_us);
   for (size_t i = 0; i < b; ++i) {
     const double* crow = cross.data().data() + i * r;
     const double* norms = partial[i] ? masked_norms.data().data() + i * r
@@ -241,26 +263,30 @@ std::vector<geom::Point> KnnEstimator::EstimateBatchQuant(
   std::vector<double> qerr(b);
   std::vector<uint8_t> partial(b, 0);
   bool any_partial = false;
-  for (size_t i = 0; i < b; ++i) {
-    const double* row = fingerprints.data().data() + i * d;
-    RMI_CHECK(HasObserved(row, d));
-    partial[i] = HasNull(row, d);
-    any_partial |= partial[i] != 0;
-    qnorm[i] = la::QuantizeQueryRow(quant_, row, qvals.data() + i * d,
-                                    qmask.data() + i * d, &qerr[i]);
-  }
-
-  // Integer distance expansion: I(i, j) = |dq_i|^2 + |df_j|^2 - 2 dq.df
-  // over the observed dims (nulls hold dq = 0 and mask = 0, so they drop
-  // out of every term). Exact integer arithmetic — the only information
-  // loss is the quantization itself, which E bounds.
   std::vector<int32_t> cross(b * rp);
-  la::GemmQuantNN(qvals.data(), quant_.values.data(), cross.data(), b, d, rp);
   std::vector<int32_t> masked_norms;
-  if (any_partial) {
-    masked_norms.resize(b * rp);
-    la::MaskedQuantRowNorms(qmask.data(), quant_.squares.data(),
-                            masked_norms.data(), b, d, rp);
+  {
+    obs::ScopedStageTimer rank_timer(EstimatorMetrics::Get().rank_us);
+    for (size_t i = 0; i < b; ++i) {
+      const double* row = fingerprints.data().data() + i * d;
+      RMI_CHECK(HasObserved(row, d));
+      partial[i] = HasNull(row, d);
+      any_partial |= partial[i] != 0;
+      qnorm[i] = la::QuantizeQueryRow(quant_, row, qvals.data() + i * d,
+                                      qmask.data() + i * d, &qerr[i]);
+    }
+
+    // Integer distance expansion: I(i, j) = |dq_i|^2 + |df_j|^2 - 2 dq.df
+    // over the observed dims (nulls hold dq = 0 and mask = 0, so they drop
+    // out of every term). Exact integer arithmetic — the only information
+    // loss is the quantization itself, which E bounds.
+    la::GemmQuantNN(qvals.data(), quant_.values.data(), cross.data(), b, d,
+                    rp);
+    if (any_partial) {
+      masked_norms.resize(b * rp);
+      la::MaskedQuantRowNorms(qmask.data(), quant_.squares.data(),
+                              masked_norms.data(), b, d, rp);
+    }
   }
 
   const size_t num_candidates = std::min(r, k_ + std::max<size_t>(k_, 8));
@@ -269,6 +295,7 @@ std::vector<geom::Point> KnnEstimator::EstimateBatchQuant(
   std::vector<std::pair<double, size_t>> exact;
   StreamingTopC<int32_t> top(num_candidates,
                              std::numeric_limits<int32_t>::max());
+  obs::ScopedStageTimer rescore_timer(EstimatorMetrics::Get().rescore_us);
   for (size_t i = 0; i < b; ++i) {
     const int32_t* crow = cross.data() + i * rp;
     const int32_t* norms =

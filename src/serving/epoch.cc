@@ -3,10 +3,30 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace rmi::serving {
 
 namespace {
+
+// Process-wide epoch series, aggregated over every domain. The deferred
+// count of the *global* domain additionally gets its own callback gauge
+// (registered in Global()).
+struct EpochMetrics {
+  obs::Counter& retired = obs::GetCounter(
+      "rmi_epoch_retired_total", "Objects handed to deferred reclamation");
+  obs::Counter& reclaimed = obs::GetCounter(
+      "rmi_epoch_reclaimed_total",
+      "Deferred objects released after all pinned readers left");
+  obs::Histogram& pin_us = obs::GetHistogram(
+      "rmi_epoch_pin_duration_us",
+      "Outermost pin hold time per thread, microseconds");
+
+  static EpochMetrics& Get() {
+    static EpochMetrics* m = new EpochMetrics();
+    return *m;
+  }
+};
 
 // Domains are identified by a process-unique id, not their address: a
 // thread's cached slot claim must never be mistaken for a claim on a
@@ -19,6 +39,9 @@ struct ThreadClaim {
   uint64_t domain_id = 0;
   size_t slot = 0;
   uint64_t depth = 0;
+  /// Outermost-pin start stamp (0 when unpinned or obs disabled at pin
+  /// time) — feeds the pin-duration histogram on the matching Exit.
+  double pin_start_us = 0.0;
 };
 
 // This thread's slot claims across every domain it has ever pinned.
@@ -43,6 +66,17 @@ EpochDomain::EpochDomain()
 
 EpochDomain& EpochDomain::Global() {
   static EpochDomain domain;
+  // Scrape-time depth of the global retire list. Registered once, here,
+  // because only the global domain is process-lifetime (stack-local test
+  // domains must not leave dangling callbacks behind).
+  static const bool registered = [] {
+    obs::Registry::Global().SetCallbackGauge(
+        "rmi_epoch_deferred_objects",
+        "Retired objects awaiting reclamation in the global domain",
+        [] { return static_cast<double>(Global().retired_count()); });
+    return true;
+  }();
+  (void)registered;
   return domain;
 }
 
@@ -68,6 +102,7 @@ void EpochDomain::Enter() {
     // header) — a smaller pin only defers reclamation longer.
     slots_[slot].epoch.store(global_epoch_.load(std::memory_order_seq_cst),
                              std::memory_order_seq_cst);
+    claim->pin_start_us = obs::Enabled() ? obs::MonotonicUs() : 0.0;
   }
 }
 
@@ -76,6 +111,11 @@ void EpochDomain::Exit() {
   RMI_CHECK(claim != nullptr && claim->depth > 0);
   if (--claim->depth == 0) {
     slots_[claim->slot].epoch.store(kIdle, std::memory_order_seq_cst);
+    if (claim->pin_start_us > 0.0) {
+      EpochMetrics::Get().pin_us.Observe(obs::MonotonicUs() -
+                                         claim->pin_start_us);
+      claim->pin_start_us = 0.0;
+    }
   }
 }
 
@@ -101,6 +141,7 @@ void EpochDomain::Retire(std::shared_ptr<const void> object) {
   const uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
   retired_.push_back(Retired{std::move(object), epoch});
   global_epoch_.store(epoch + 1, std::memory_order_seq_cst);
+  EpochMetrics::Get().retired.Add();
   ReclaimLocked();
 }
 
@@ -113,11 +154,15 @@ size_t EpochDomain::ReclaimNow() {
 void EpochDomain::ReclaimLocked() {
   const uint64_t min_active = MinActiveEpoch();
   // kIdle (no pinned reader) compares above every stamp: everything goes.
+  const size_t before = retired_.size();
   retired_.erase(std::remove_if(retired_.begin(), retired_.end(),
                                 [min_active](const Retired& entry) {
                                   return entry.epoch < min_active;
                                 }),
                  retired_.end());
+  if (before != retired_.size()) {
+    EpochMetrics::Get().reclaimed.Add(before - retired_.size());
+  }
 }
 
 size_t EpochDomain::retired_count() const {

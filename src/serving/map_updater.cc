@@ -2,11 +2,13 @@
 
 #include <chrono>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "common/hash.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace rmi::serving {
 
@@ -19,6 +21,39 @@ uint64_t ShardSeed(uint64_t seed, const rmap::ShardId& id) {
   return SplitMix64(seed ^ ((uint64_t(uint32_t(id.building)) << 32) |
                             uint64_t(uint32_t(id.floor))));
 }
+
+/// Process-wide updater series. Per-instance exact numbers stay in
+/// MapUpdater::stats_ (tests assert them per updater); these aggregate
+/// across every updater for the scrape.
+struct UpdaterMetrics {
+  obs::Counter& ingested = obs::GetCounter(
+      "rmi_updater_ingested_total", "Survey observations accepted by Ingest");
+  obs::Counter& started = obs::GetCounter(
+      "rmi_updater_rebuilds_started_total", "Shard rebuilds started");
+  obs::Counter& completed = obs::GetCounter(
+      "rmi_updater_rebuilds_completed_total",
+      "Shard rebuilds completed (each published a snapshot)");
+  obs::Counter& warm = obs::GetCounter(
+      "rmi_updater_rebuilds_warm_total",
+      "Rebuilds that offered the imputer a warm-start context");
+  obs::Histogram& stage_queue_us = obs::GetHistogram(
+      "rmi_updater_stage_queue_wait_us",
+      "Trip detection to worker pickup per rebuild, microseconds");
+  obs::Histogram& stage_impute_us = obs::GetHistogram(
+      "rmi_updater_stage_impute_us",
+      "Differentiate + MNAR fill + impute per rebuild, microseconds");
+  obs::Histogram& stage_fit_us = obs::GetHistogram(
+      "rmi_updater_stage_fit_us",
+      "Estimator fit + snapshot freeze per rebuild, microseconds");
+  obs::Histogram& stage_publish_us = obs::GetHistogram(
+      "rmi_updater_stage_publish_us",
+      "Store hot-swap per rebuild, microseconds");
+
+  static UpdaterMetrics& Get() {
+    static UpdaterMetrics* m = new UpdaterMetrics();
+    return *m;
+  }
+};
 
 }  // namespace
 
@@ -108,6 +143,7 @@ void MapUpdater::Ingest(const rmap::ShardId& id, rmap::Record observation) {
     }
     state->deltas.push_back(std::move(observation));
   }
+  UpdaterMetrics::Get().ingested.Add();
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.ingested;
 }
@@ -125,6 +161,8 @@ void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state,
   // cheap fold/copy below, never during the impute/fit phase, so Ingest
   // keeps flowing while the pipeline runs.
   std::lock_guard<std::mutex> rebuild_lock(state->rebuild_mu);
+  UpdaterMetrics& metrics = UpdaterMetrics::Get();
+  metrics.started.Add();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.rebuilds_started;
@@ -235,6 +273,34 @@ void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state,
     }
     state->since_rebuild.Reset();
   }
+  // Registry side: aggregate counters + stage histograms, plus this
+  // shard's labeled last-rebuild gauges (resolved once; rebuild_mu makes
+  // this shard's Set single-writer).
+  metrics.completed.Add();
+  if (warm) metrics.warm.Add();
+  metrics.stage_queue_us.Observe(queue_wait_seconds * 1e6);
+  metrics.stage_impute_us.Observe(impute_seconds * 1e6);
+  metrics.stage_fit_us.Observe(fit_seconds * 1e6);
+  metrics.stage_publish_us.Observe(publish_seconds * 1e6);
+  if (state->rebuilds_counter == nullptr) {
+    const std::string label = "shard=\"" + rmap::ToString(id) + "\"";
+    state->last_impute_gauge = &obs::GetGauge(
+        "rmi_updater_last_impute_seconds",
+        "Impute phase of the shard's most recent rebuild, seconds", label);
+    state->last_fit_gauge = &obs::GetGauge(
+        "rmi_updater_last_fit_seconds",
+        "Fit phase of the shard's most recent rebuild, seconds", label);
+    state->last_publish_gauge = &obs::GetGauge(
+        "rmi_updater_last_publish_seconds",
+        "Publish phase of the shard's most recent rebuild, seconds", label);
+    state->rebuilds_counter = &obs::GetCounter(
+        "rmi_updater_shard_rebuilds_total", "Completed rebuilds per shard",
+        label);
+  }
+  state->last_impute_gauge->Set(impute_seconds);
+  state->last_fit_gauge->Set(fit_seconds);
+  state->last_publish_gauge->Set(publish_seconds);
+  state->rebuilds_counter->Add();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.rebuilds_completed;

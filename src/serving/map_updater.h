@@ -199,6 +199,14 @@ class MapUpdater {
     /// Per-shard RNG stream, seeded by (options.seed, shard id). Forked
     /// once per rebuild; accessed only under rebuild_mu.
     Rng rng{0};
+    /// Registry handles for this shard's labeled series
+    /// (rmi_updater_last_*_seconds{shard="..."}), resolved on the first
+    /// rebuild and cached — handles are process-lifetime. Accessed only
+    /// under rebuild_mu; Set is safe there (one writer per shard).
+    obs::Gauge* last_impute_gauge = nullptr;
+    obs::Gauge* last_fit_gauge = nullptr;
+    obs::Gauge* last_publish_gauge = nullptr;
+    obs::Counter* rebuilds_counter = nullptr;
   };
 
   ShardState* Find(const rmap::ShardId& id) const;

@@ -7,7 +7,6 @@
 
 #include "common/check.h"
 #include "common/missing.h"
-#include "common/stats.h"
 
 namespace rmi::serving {
 
@@ -17,6 +16,39 @@ std::exception_ptr StoppedError() {
   return std::make_exception_ptr(
       std::runtime_error("LocalizationServer is stopped"));
 }
+
+/// Process-wide serving series. Handles are registered once and cached —
+/// they are process-lifetime, so every LocalizationServer instance feeds
+/// the same rmi_server_* series (per-instance numbers live in the
+/// server's own atomics/histogram behind Stats()).
+struct ServerMetrics {
+  obs::Counter& completed = obs::GetCounter(
+      "rmi_server_requests_total", "Requests answered across all servers");
+  obs::Counter& rejected = obs::GetCounter(
+      "rmi_server_rejected_total",
+      "Requests rejected (malformed fingerprint or racing shutdown)");
+  obs::Counter& batches = obs::GetCounter(
+      "rmi_server_batches_total", "Coalesced dispatches executed");
+  obs::Gauge& queue_depth = obs::GetGauge(
+      "rmi_server_queue_depth",
+      "Requests currently sitting in the submit ring (sharded +1/-1)");
+  obs::Histogram& batch_size = obs::GetHistogram(
+      "rmi_server_batch_size_requests", "Coalesced batch size per dispatch");
+  obs::Histogram& stage_queue_us = obs::GetHistogram(
+      "rmi_server_stage_queue_us",
+      "Per-request wait from enqueue to batch start, microseconds");
+  obs::Histogram& stage_rank_us = obs::GetHistogram(
+      "rmi_server_stage_rank_us",
+      "Batched estimator pass per dispatch, microseconds");
+  obs::Histogram& fulfill_us = obs::GetHistogram(
+      "rmi_server_fulfill_us",
+      "Per-request enqueue-to-fulfill latency, microseconds");
+
+  static ServerMetrics& Get() {
+    static ServerMetrics* m = new ServerMetrics();
+    return *m;
+  }
+};
 
 }  // namespace
 
@@ -29,6 +61,9 @@ LocalizationServer::LocalizationServer(const MapSnapshotStore* store,
   RMI_CHECK(store_ != nullptr);
   RMI_CHECK_GT(options_.max_batch, 0u);
   RMI_CHECK_GT(options_.queue_capacity, 0u);
+  // Touch the registry up front so the series exist in a scrape even
+  // before the first request arrives.
+  ServerMetrics::Get();
   // The launcher owns the pool fan-out: ParallelFor(num_workers) hands each
   // pool worker exactly one DispatchLoop index and blocks (as worker 0, in
   // its own loop) until shutdown drains them all.
@@ -54,6 +89,8 @@ std::future<geom::Point> LocalizationServer::Submit(
 
   Request request;
   request.fingerprint = std::move(fingerprint);
+  request.trace = obs::Tracer::Global().MaybeSample();
+  if (request.trace != nullptr) request.trace->AddEvent("submit");
   std::future<geom::Point> future = request.promise.get_future();
   // Lock-free fast path: one TryPush. A full ring is backpressure — yield
   // until a dispatcher frees a cell (bounded memory under overload beats
@@ -64,13 +101,14 @@ std::future<geom::Point> LocalizationServer::Submit(
       // A Submit racing a Stop is a benign shutdown condition, not a
       // programming error: reject just this request.
       request.promise.set_exception(StoppedError());
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++rejected_;
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::Get().rejected.Add();
       return future;
     }
     if (queue_.TryPush(std::move(request))) break;
     std::this_thread::yield();
   }
+  ServerMetrics::Get().queue_depth.Add(1.0);
   // Wake a parked dispatcher. The seq_cst fence orders our enqueue before
   // the sleepers_ read against the dispatcher's sleepers_ increment before
   // its empty-check: at least one side sees the other, so a request can
@@ -105,11 +143,14 @@ void LocalizationServer::Stop() {
   size_t swept = 0;
   while (queue_.TryPop(&request)) {
     request.promise.set_exception(StoppedError());
+    obs::Tracer::Global().Finish(std::move(request.trace));
     ++swept;
   }
   if (swept > 0) {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    rejected_ += swept;
+    rejected_.fetch_add(swept, std::memory_order_relaxed);
+    ServerMetrics& m = ServerMetrics::Get();
+    m.rejected.Add(swept);
+    m.queue_depth.Add(-static_cast<double>(swept));
   }
 }
 
@@ -184,6 +225,22 @@ void LocalizationServer::DispatchLoop() {
 }
 
 void LocalizationServer::ProcessBatch(std::vector<Request>* batch) {
+  ServerMetrics& metrics = ServerMetrics::Get();
+  metrics.queue_depth.Add(-static_cast<double>(batch->size()));
+  metrics.batch_size.Observe(static_cast<double>(batch->size()));
+  // Queue-stage latency (enqueue -> batch start) per request. The clock
+  // reads are gated: disabled observability pays nothing here.
+  if (obs::Enabled()) {
+    for (const Request& r : *batch) {
+      metrics.stage_queue_us.Observe(r.enqueued.ElapsedSeconds() * 1e6);
+    }
+  }
+  for (Request& r : *batch) {
+    if (r.trace != nullptr) {
+      r.trace->AddSpan("queue", 0.0, r.trace->ElapsedUs());
+    }
+  }
+
   // Pin one snapshot for the whole batch — a hot-swap mid-batch must never
   // mix two serving states. Epoch-pinned read: no refcount RMW per batch,
   // so dispatcher threads on different cores share no snapshot-access
@@ -206,6 +263,7 @@ void LocalizationServer::ProcessBatch(std::vector<Request>* batch) {
     if (reason != nullptr) {
       r.promise.set_exception(
           std::make_exception_ptr(std::runtime_error(reason)));
+      obs::Tracer::Global().Finish(std::move(r.trace));
       ++num_rejected;
     } else {
       valid.push_back(i);
@@ -220,41 +278,66 @@ void LocalizationServer::ProcessBatch(std::vector<Request>* batch) {
       std::copy(r.fingerprint.begin(), r.fingerprint.end(),
                 queries.data().begin() + static_cast<long>(v * d));
     }
-    estimates = BatchLocalizer::LocalizeBatchOn(*snap, queries);
+    {
+      obs::ScopedStageTimer rank_timer(metrics.stage_rank_us);
+      // Sampled traces see the same stage as a span (per-trace offsets).
+      const bool any_trace = std::any_of(
+          valid.begin(), valid.end(),
+          [&](size_t i) { return (*batch)[i].trace != nullptr; });
+      if (any_trace) {
+        std::vector<double> span_starts(valid.size(), 0.0);
+        for (size_t v = 0; v < valid.size(); ++v) {
+          obs::Trace* t = (*batch)[valid[v]].trace.get();
+          if (t != nullptr) span_starts[v] = t->ElapsedUs();
+        }
+        estimates = BatchLocalizer::LocalizeBatchOn(*snap, queries);
+        for (size_t v = 0; v < valid.size(); ++v) {
+          obs::Trace* t = (*batch)[valid[v]].trace.get();
+          if (t != nullptr) {
+            t->AddSpan("rank", span_starts[v],
+                       t->ElapsedUs() - span_starts[v]);
+          }
+        }
+      } else {
+        estimates = BatchLocalizer::LocalizeBatchOn(*snap, queries);
+      }
+    }
   }
 
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    latencies_us_.resize(std::min(kLatencyWindow,
-                                  latencies_us_.size() + valid.size()));
-    for (size_t i : valid) {
-      latencies_us_[latency_next_] = (*batch)[i].enqueued.ElapsedSeconds() * 1e6;
-      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-    }
-    completed_ += valid.size();
-    rejected_ += num_rejected;
-    ++batches_;
-    batched_requests_ += batch->size();
-  }
+  // Lock-free accounting: per-instance atomics + member histogram (the
+  // Stats() data source, ungated) and the process-wide registry series
+  // (gated). No mutex anywhere on this path.
+  completed_.fetch_add(valid.size(), std::memory_order_relaxed);
+  rejected_.fetch_add(num_rejected, std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(batch->size(), std::memory_order_relaxed);
+  metrics.completed.Add(valid.size());
+  if (num_rejected > 0) metrics.rejected.Add(num_rejected);
+  metrics.batches.Add();
   for (size_t v = 0; v < valid.size(); ++v) {
-    (*batch)[valid[v]].promise.set_value(estimates[v]);
+    Request& r = (*batch)[valid[v]];
+    const double latency_us = r.enqueued.ElapsedSeconds() * 1e6;
+    fulfill_latency_us_.ObserveUnconditional(latency_us);
+    metrics.fulfill_us.Observe(latency_us);
+    r.promise.set_value(estimates[v]);
+    obs::Tracer::Global().Finish(std::move(r.trace));
   }
 }
 
 ServerStats LocalizationServer::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
   ServerStats s;
-  s.completed = completed_;
-  s.rejected = rejected_;
-  s.batches = batches_;
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  const size_t batched = batched_requests_.load(std::memory_order_relaxed);
   s.mean_batch_size =
-      batches_ == 0 ? 0.0
-                    : static_cast<double>(batched_requests_) /
-                          static_cast<double>(batches_);
-  if (!latencies_us_.empty()) {
-    s.p50_latency_us = Percentile(latencies_us_, 50.0);
-    s.p95_latency_us = Percentile(latencies_us_, 95.0);
-    s.p99_latency_us = Percentile(latencies_us_, 99.0);
+      s.batches == 0
+          ? 0.0
+          : static_cast<double>(batched) / static_cast<double>(s.batches);
+  if (fulfill_latency_us_.Count() > 0) {
+    s.p50_latency_us = fulfill_latency_us_.Percentile(50.0);
+    s.p95_latency_us = fulfill_latency_us_.Percentile(95.0);
+    s.p99_latency_us = fulfill_latency_us_.Percentile(99.0);
   }
   const double uptime = uptime_.ElapsedSeconds();
   s.qps = uptime > 0.0 ? static_cast<double>(s.completed) / uptime : 0.0;

@@ -15,7 +15,12 @@
 // dispatcher that finds the ring empty parks on it, and Submit wakes it
 // through a seq_cst sleeper-count handshake (the hot path with awake
 // dispatchers never touches the mutex). Per-request latency (enqueue ->
-// fulfill) feeds the p50/p95/p99 stats.
+// fulfill) feeds a sharded obs/ histogram — the fulfill path takes no
+// stats mutex; Stats() percentiles come from the merged buckets, and the
+// same events land in the process-wide registry (rmi_server_* series)
+// for scrapes. A deterministic 1-in-N of requests carries an obs::Trace
+// through submit -> coalesce -> rank, retrievable afterwards from
+// obs::Tracer::Global().Recent().
 #ifndef RMI_SERVING_SERVER_H_
 #define RMI_SERVING_SERVER_H_
 
@@ -31,6 +36,8 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "geometry/geometry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serving/batch_localizer.h"
 #include "serving/snapshot.h"
 
@@ -56,7 +63,8 @@ struct ServerStats {
   size_t rejected = 0;         ///< malformed requests refused via exception
   size_t batches = 0;          ///< dispatches executed
   double mean_batch_size = 0.0;
-  /// Percentiles over the most recent latency window (bounded memory).
+  /// Percentiles from this server's merged histogram buckets (bounded
+  /// memory, <= ~12% bucket quantization — see obs::Histogram).
   double p50_latency_us = 0.0;
   double p95_latency_us = 0.0;
   double p99_latency_us = 0.0;
@@ -104,6 +112,9 @@ class LocalizationServer {
     std::vector<double> fingerprint;
     std::promise<geom::Point> promise;
     Timer enqueued;  ///< starts at Submit; read when the promise resolves
+    /// Non-null for the deterministic 1-in-N sampled requests; rides the
+    /// ring with the request and is finished at promise resolution.
+    std::unique_ptr<obs::Trace> trace;
   };
 
   void DispatchLoop();
@@ -136,16 +147,15 @@ class LocalizationServer {
   std::mutex park_mu_;
   std::condition_variable park_cv_;
 
-  /// Latency samples are kept in a fixed-size ring (a long-lived server
-  /// must not grow per-request state without bound); counters are totals.
-  static constexpr size_t kLatencyWindow = 1 << 14;
-  mutable std::mutex stats_mu_;
-  std::vector<double> latencies_us_;  ///< ring buffer, kLatencyWindow cap
-  size_t latency_next_ = 0;           ///< ring write position
-  size_t completed_ = 0;
-  size_t rejected_ = 0;
-  size_t batches_ = 0;
-  size_t batched_requests_ = 0;
+  /// Per-instance fulfill-latency histogram (always on — the Stats()
+  /// shim's data source even when the global obs layer is disabled) plus
+  /// plain atomic totals. No mutex anywhere on the fulfill path; bounded
+  /// memory by construction (fixed buckets, not a sample window).
+  obs::Histogram fulfill_latency_us_;
+  std::atomic<size_t> completed_{0};
+  std::atomic<size_t> rejected_{0};
+  std::atomic<size_t> batches_{0};
+  std::atomic<size_t> batched_requests_{0};
   Timer uptime_;
 
   ThreadPool pool_;

@@ -25,6 +25,25 @@ void ValidateQuery(const MapSnapshot& snapshot, const double* fingerprint,
   if (reason != nullptr) throw std::runtime_error(reason);
 }
 
+/// Process-wide sharded-serving series.
+struct RouterMetrics {
+  obs::Counter& batches = obs::GetCounter(
+      "rmi_router_batches_total", "Mixed-shard batches fanned out");
+  obs::Counter& classified = obs::GetCounter(
+      "rmi_router_classified_total",
+      "Batch rows routed by the floor classifier (vs. hinted)");
+  obs::Histogram& stage_classify_us = obs::GetHistogram(
+      "rmi_router_stage_classify_us",
+      "Floor classification + grouping per batch, microseconds");
+  obs::Histogram& shard_groups = obs::GetHistogram(
+      "rmi_router_shard_groups", "Distinct shard groups per batch fan-out");
+
+  static RouterMetrics& Get() {
+    static RouterMetrics* m = new RouterMetrics();
+    return *m;
+  }
+};
+
 }  // namespace
 
 ShardProfile BuildShardProfile(const MapSnapshot& snapshot) {
@@ -228,7 +247,8 @@ ShardRouter::AutoResult ShardRouter::LocalizeAuto(
 
 ShardRouter::BatchResult ShardRouter::LocalizeBatch(
     const la::Matrix& queries,
-    const std::vector<std::optional<rmap::ShardId>>& hints) const {
+    const std::vector<std::optional<rmap::ShardId>>& hints,
+    obs::Trace* trace) const {
   const size_t b = queries.rows();
   const size_t d = queries.cols();
   if (!hints.empty() && hints.size() != b) {
@@ -240,29 +260,37 @@ ShardRouter::BatchResult ShardRouter::LocalizeBatch(
   out.shards.resize(b);
   if (b == 0) return out;
 
+  RouterMetrics& metrics = RouterMetrics::Get();
+  metrics.batches.Add();
+
   // Resolve every row to a shard (classifying unhinted rows against one
   // consistent profile listing), then group rows by shard.
   const auto profiles = store_->Profiles();
   std::map<rmap::ShardId, std::vector<size_t>> by_shard;
-  for (size_t i = 0; i < b; ++i) {
-    const double* row = queries.data().data() + i * d;
-    rmap::ShardId shard;
-    if (!hints.empty() && hints[i].has_value()) {
-      shard = *hints[i];
-    } else {
-      const std::optional<RouteDecision> route =
-          ClassifyAgainst(profiles, row, d);
-      if (!route.has_value()) {
-        throw std::runtime_error(
-            "batch row cannot be floor-classified (no shards or no observed "
-            "AP)");
+  {
+    obs::ScopedStageTimer classify_timer(metrics.stage_classify_us);
+    obs::ScopedSpan classify_span(trace, "classify");
+    for (size_t i = 0; i < b; ++i) {
+      const double* row = queries.data().data() + i * d;
+      rmap::ShardId shard;
+      if (!hints.empty() && hints[i].has_value()) {
+        shard = *hints[i];
+      } else {
+        const std::optional<RouteDecision> route =
+            ClassifyAgainst(profiles, row, d);
+        if (!route.has_value()) {
+          throw std::runtime_error(
+              "batch row cannot be floor-classified (no shards or no "
+              "observed AP)");
+        }
+        shard = route->shard;
+        ++out.classified;
       }
-      shard = route->shard;
-      ++out.classified;
+      out.shards[i] = shard;
+      by_shard[shard].push_back(i);
     }
-    out.shards[i] = shard;
-    by_shard[shard].push_back(i);
   }
+  if (out.classified > 0) metrics.classified.Add(out.classified);
 
   // Pin one snapshot per shard group and validate every row up front, so a
   // malformed batch is rejected before any work fans out (and no exception
@@ -277,39 +305,46 @@ ShardRouter::BatchResult ShardRouter::LocalizeBatch(
   };
   std::vector<Group> groups;
   groups.reserve(by_shard.size());
-  for (auto& [shard, rows] : by_shard) {
-    Group g;
-    g.snapshot = store_->Pinned(shard);
-    if (!g.snapshot) {
-      throw std::runtime_error("shard " + rmap::ToString(shard) +
-                               " has no published snapshot");
+  {
+    obs::ScopedSpan pin_span(trace, "pin-validate");
+    for (auto& [shard, rows] : by_shard) {
+      Group g;
+      g.snapshot = store_->Pinned(shard);
+      if (!g.snapshot) {
+        throw std::runtime_error("shard " + rmap::ToString(shard) +
+                                 " has no published snapshot");
+      }
+      for (size_t i : rows) {
+        ValidateQuery(*g.snapshot, queries.data().data() + i * d, d);
+      }
+      g.block = la::Matrix(rows.size(), d);
+      for (size_t r = 0; r < rows.size(); ++r) {
+        const double* src = queries.data().data() + rows[r] * d;
+        std::copy(src, src + d, g.block.data().begin() + r * d);
+      }
+      g.rows = std::move(rows);
+      groups.push_back(std::move(g));
     }
-    for (size_t i : rows) {
-      ValidateQuery(*g.snapshot, queries.data().data() + i * d, d);
-    }
-    g.block = la::Matrix(rows.size(), d);
-    for (size_t r = 0; r < rows.size(); ++r) {
-      const double* src = queries.data().data() + rows[r] * d;
-      std::copy(src, src + d, g.block.data().begin() + r * d);
-    }
-    g.rows = std::move(rows);
-    groups.push_back(std::move(g));
   }
   out.shard_groups = groups.size();
+  metrics.shard_groups.Observe(static_cast<double>(groups.size()));
 
   // Fan the per-shard groups across the pool under the work-stealing
   // schedule (group costs are skewed by group size; per-group results are
   // written to disjoint pre-resolved rows, so order independence holds).
   // No serialization against other LocalizeBatch calls: each call is its
   // own pool job and the caller works on it too.
-  pool_.ParallelForDynamic(groups.size(), [&](size_t /*worker*/, size_t gi) {
-    Group& g = groups[gi];
-    const std::vector<geom::Point> points =
-        BatchLocalizer::LocalizeBatchOn(*g.snapshot, g.block);
-    for (size_t r = 0; r < g.rows.size(); ++r) {
-      out.positions[g.rows[r]] = points[r];
-    }
-  });
+  {
+    obs::ScopedSpan fanout_span(trace, "rank-fanout");
+    pool_.ParallelForDynamic(groups.size(), [&](size_t /*worker*/, size_t gi) {
+      Group& g = groups[gi];
+      const std::vector<geom::Point> points =
+          BatchLocalizer::LocalizeBatchOn(*g.snapshot, g.block);
+      for (size_t r = 0; r < g.rows.size(); ++r) {
+        out.positions[g.rows[r]] = points[r];
+      }
+    });
+  }
   return out;
 }
 

@@ -33,6 +33,7 @@
 #include "common/thread_pool.h"
 #include "geometry/geometry.h"
 #include "la/matrix.h"
+#include "obs/trace.h"
 #include "radiomap/radio_map.h"
 #include "serving/snapshot.h"
 
@@ -204,10 +205,12 @@ class ShardRouter {
   /// are bit-identical to EstimateBatch on that shard alone. Throws
   /// std::runtime_error if any row is unroutable or `hints` is non-empty
   /// but not row-aligned (the batch is rejected before any work is
-  /// fanned out).
+  /// fanned out). A sampled `trace` (nullable) receives the classify /
+  /// pin-validate / fan-out stage spans.
   BatchResult LocalizeBatch(
       const la::Matrix& queries,
-      const std::vector<std::optional<rmap::ShardId>>& hints = {}) const;
+      const std::vector<std::optional<rmap::ShardId>>& hints = {},
+      obs::Trace* trace = nullptr) const;
 
  private:
   const ShardedSnapshotStore* store_;

@@ -28,9 +28,11 @@ Refreshing baselines after an intentional perf change:
     ./build/bench_serving_throughput --smoke &&
     ./build/bench_sharded_serving --smoke &&
     ./build/bench_rebuild_latency --smoke &&
+    ./build/bench_obs_overhead --smoke &&
     cp build/BENCH_serving.json bench/baselines/serving.json &&
     cp build/BENCH_sharded.json bench/baselines/sharded.json &&
-    cp build/BENCH_rebuild.json bench/baselines/rebuild.json
+    cp build/BENCH_rebuild.json bench/baselines/rebuild.json &&
+    cp build/BENCH_obs.json bench/baselines/obs.json
 (For the rebuild baseline, prefer the most conservative of a few runs —
 its gated speedup ratios wobble more than closed-loop qps numbers.)
 """
@@ -40,8 +42,10 @@ import pathlib
 import sys
 
 # (fresh file, baseline file, gated qps keys, context-only keys — dotted
-# paths into the JSON). Context keys are printed for the CI log but never
-# gate.
+# paths into the JSON, plus optional 5th element: multicore-only gated
+# keys, and optional 6th element: a dict of absolute floors, metrics that
+# must be >= the given value regardless of the baseline). Context keys are
+# printed for the CI log but never gate.
 BENCHES = [
     (
         "BENCH_serving.json",
@@ -115,6 +119,25 @@ BENCHES = [
             "sharded_speedup_4t",
         ],
     ),
+    # Observability overhead A/B. The headline enabled/disabled qps ratio
+    # is self-normalizing (both arms run on the same machine in the same
+    # process), so it gates against an *absolute* floor — the <= 2%
+    # overhead acceptance bar — rather than against the baseline's
+    # measured ratio. The raw per-arm qps numbers are machine-dependent
+    # and stay context-only.
+    (
+        "BENCH_obs.json",
+        "obs.json",
+        [],
+        [
+            "batch.disabled_qps",
+            "batch.enabled_qps",
+            "server.disabled_qps",
+            "server.enabled_qps",
+        ],
+        [],
+        {"enabled_over_disabled": 0.98},
+    ),
 ]
 
 
@@ -147,6 +170,7 @@ def main():
     for entry in BENCHES:
         fresh_name, baseline_name, keys, context_keys = entry[:4]
         multicore_keys = entry[4] if len(entry) > 4 else []
+        absolute_floors = entry[5] if len(entry) > 5 else {}
         fresh_path = fresh_dir / fresh_name
         baseline_path = baseline_dir / baseline_name
         if not baseline_path.exists():
@@ -189,6 +213,21 @@ def main():
                 failures.append(
                     f"{fresh_name}: {key} fell to {ratio:.2f}x of baseline "
                     f"({fresh_value:.1f} vs {base_value:.1f}, floor {floor:.2f}x)"
+                )
+        for key, floor_value in absolute_floors.items():
+            fresh_value = lookup(fresh, key)
+            if fresh_value is None:
+                failures.append(f"{fresh_name}: metric {key} disappeared")
+                continue
+            verdict = "ok" if fresh_value >= floor_value else "REGRESSION"
+            print(
+                f"  {key:24s} {fresh_value:12.4f} >= floor "
+                f"{floor_value:.4f}  {verdict}"
+            )
+            if fresh_value < floor_value:
+                failures.append(
+                    f"{fresh_name}: {key} = {fresh_value:.4f} below the "
+                    f"absolute floor {floor_value:.4f}"
                 )
         for key in context_keys:
             fresh_value = lookup(fresh, key)
