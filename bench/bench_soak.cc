@@ -1,0 +1,171 @@
+// Trace-driven venue-scale soak: walker sessions replayed open-loop
+// against the full serving stack with mid-run churn, SLOs scraped from the
+// observability registry.
+//
+//   ./bench_soak               # full soak: 50 shards, ~1M queries, churn
+//   ./bench_soak --smoke       # CI sizes + BENCH_soak.json
+//   ./bench_soak --json=out.json
+//   ./bench_soak --scrape=out.txt   # final Prometheus scrape artifact
+//
+// Emits BENCH_soak.json (schema documented in docs/REPRODUCE.md): offered
+// vs achieved load, open-loop latency percentiles (p50/p99/p999), APE vs
+// trace ground truth, snapshot-staleness percentiles under churn, and the
+// handover/floor-misclassification error rate. The CI gate
+// (tools/check_bench_regression.py) holds achieved_qps within ratio bounds
+// of bench/baselines/soak.json and enforces absolute ceilings on p999
+// latency, staleness, and handover error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_common.h"
+#include "workload/soak.h"
+
+using namespace rmi;
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  std::string scrape_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      if (json_path.empty()) json_path = "BENCH_soak.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--scrape=", 9) == 0) {
+      scrape_path = argv[i] + 9;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json=FILE] "
+                           "[--scrape=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  workload::SoakOptions opt;
+  if (smoke) {
+    // CI sizes: the same stack and churn schedule, shrunk to finish in a
+    // few seconds on a small runner.
+    opt.venue.num_buildings = 4;
+    opt.venue.floors_per_building = 3;
+    opt.walkers.num_walkers = 128;
+    opt.walkers.duration_s = 120.0;
+    opt.arrivals.duration_s = 120.0;
+    opt.arrivals.expected_total = 60000.0;
+    opt.time_scale = 8.0;  // ~15 s of wall pacing
+  } else {
+    // The acceptance-bar soak: >= 50 shards, ~1M queries, full churn.
+    opt.venue.num_buildings = 10;
+    opt.venue.floors_per_building = 5;
+    opt.walkers.num_walkers = 512;
+    opt.walkers.duration_s = 300.0;
+    opt.arrivals.duration_s = 300.0;
+    opt.arrivals.expected_total = 1000000.0;
+    opt.time_scale = 5.0;  // ~60 s of wall pacing
+  }
+
+  std::printf("=== soak — trace-driven venue-scale endurance ===\n");
+  std::printf("(%zu buildings x %zu floors, %zu walkers, ~%.0f queries "
+              "over %.0f virtual s at %.0fx compression)\n\n",
+              opt.venue.num_buildings, opt.venue.floors_per_building,
+              opt.walkers.num_walkers, opt.arrivals.expected_total,
+              opt.arrivals.duration_s, opt.time_scale);
+
+  const workload::SoakReport r = workload::RunSoak(opt);
+
+  std::printf("load:      %zu scheduled, %zu ok, %zu rejected, %zu "
+              "unroutable in %.1f s (%.0f qps)\n",
+              r.scheduled, r.ok, r.rejected, r.unroutable, r.wall_seconds,
+              r.achieved_qps);
+  std::printf("latency:   p50 %.2f ms   p99 %.2f ms   p999 %.2f ms "
+              "(open-loop: scheduled arrival -> answer)\n",
+              r.p50_ms, r.p99_ms, r.p999_ms);
+  std::printf("accuracy:  APE p50 %.2f m   p95 %.2f m\n", r.ape_p50_m,
+              r.ape_p95_m);
+  std::printf("handover:  error rate %.4f (%zu wrong-shard answers; %zu "
+              "session switches vs %zu true transitions)\n",
+              r.handover_error_rate, r.wrong_shard, r.session_switches,
+              r.true_transitions);
+  std::printf("freshness: staleness p50 %.1f ms   p95 %.1f ms\n",
+              r.staleness_p50_ms, r.staleness_p95_ms);
+  std::printf("churn:     %zu rebuilds (%zu failed), %zu publishes, %zu "
+              "dimension changes, %zu resurvey obs\n",
+              r.rebuilds_completed, r.rebuild_failures, r.publishes,
+              r.dimension_changes, r.resurvey_observations);
+
+  if (!scrape_path.empty()) {
+    std::FILE* f = std::fopen(scrape_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", scrape_path.c_str());
+      return 1;
+    }
+    const std::string scrape = obs::DumpPrometheusText();
+    std::fwrite(scrape.data(), 1, scrape.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", scrape_path.c_str());
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"venue\": {\"shards\": %zu, \"aps\": %zu, \"walkers\": %zu},\n"
+        "  \"load\": {\"scheduled\": %zu, \"sent\": %zu, \"ok\": %zu,"
+        " \"rejected\": %zu, \"unroutable\": %zu, \"wall_seconds\": %.2f,"
+        " \"achieved_qps\": %.1f},\n"
+        "  \"slo\": {\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"p999_ms\": %.3f,"
+        " \"ape_p50_m\": %.3f, \"ape_p95_m\": %.3f,"
+        " \"staleness_p50_ms\": %.2f, \"staleness_p95_ms\": %.2f,"
+        " \"handover_error_rate\": %.5f},\n"
+        "  \"handover\": {\"wrong_shard\": %zu, \"session_switches\": %zu,"
+        " \"true_transitions\": %zu},\n"
+        "  \"churn\": {\"rebuilds_completed\": %zu, \"rebuild_failures\":"
+        " %zu, \"publishes\": %zu, \"dimension_changes\": %zu,"
+        " \"resurvey_observations\": %zu},\n",
+        r.num_shards, r.num_aps_initial, opt.walkers.num_walkers,
+        r.scheduled, r.sent, r.ok, r.rejected, r.unroutable, r.wall_seconds,
+        r.achieved_qps, r.p50_ms, r.p99_ms, r.p999_ms, r.ape_p50_m,
+        r.ape_p95_m, r.staleness_p50_ms, r.staleness_p95_ms,
+        r.handover_error_rate, r.wrong_shard, r.session_switches,
+        r.true_transitions, r.rebuilds_completed, r.rebuild_failures,
+        r.publishes, r.dimension_changes, r.resurvey_observations);
+    rmi::bench::WriteObsMetricsJson(f);
+    rmi::bench::WriteHardwareJson(f, opt.client_threads);
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  // Hard sanity: a soak that served nothing, dropped a rebuild, or lost
+  // every answer to misrouting is a failed run regardless of the gate.
+  if (r.sent != r.scheduled) {
+    std::fprintf(stderr, "FAIL: sent %zu != scheduled %zu\n", r.sent,
+                 r.scheduled);
+    return 1;
+  }
+  if (r.ok == 0 || r.ok < r.sent * 9 / 10) {
+    std::fprintf(stderr, "FAIL: only %zu/%zu queries answered\n", r.ok,
+                 r.sent);
+    return 1;
+  }
+  if (r.rebuild_failures != 0) {
+    std::fprintf(stderr, "FAIL: %zu rebuild failures\n", r.rebuild_failures);
+    return 1;
+  }
+  if (r.dimension_changes != 2) {
+    std::fprintf(stderr, "FAIL: expected 2 dimension changes, got %zu\n",
+                 r.dimension_changes);
+    return 1;
+  }
+  if (r.handover_error_rate > 0.10) {
+    std::fprintf(stderr, "FAIL: handover error rate %.4f above 0.10\n",
+                 r.handover_error_rate);
+    return 1;
+  }
+  return 0;
+}

@@ -36,6 +36,13 @@ struct UpdaterMetrics {
   obs::Counter& warm = obs::GetCounter(
       "rmi_updater_rebuilds_warm_total",
       "Rebuilds that offered the imputer a warm-start context");
+  obs::Counter& failed = obs::GetCounter(
+      "rmi_updater_rebuild_failures_total",
+      "Rebuilds whose impute/fit/publish pipeline threw (nothing "
+      "published; the shard keeps serving its previous snapshot)");
+  obs::Histogram& staleness_us = obs::GetHistogram(
+      "rmi_updater_staleness_us",
+      "Age of the oldest pending delta at snapshot publish, microseconds");
   obs::Histogram& stage_queue_us = obs::GetHistogram(
       "rmi_updater_stage_queue_wait_us",
       "Trip detection to worker pickup per rebuild, microseconds");
@@ -109,6 +116,7 @@ void MapUpdater::RegisterShard(const rmap::ShardId& id, rmap::RadioMap base) {
     std::lock_guard<std::mutex> lock(state->mu);
     state->base = std::move(base);
     state->deltas.clear();
+    state->delta_pending = false;
     state->last_imputed.reset();
     state->imputer_state.reset();
     state->last_mask.reset();
@@ -140,6 +148,10 @@ void MapUpdater::Ingest(const rmap::ShardId& id, rmap::Record observation) {
       throw std::runtime_error("ingested observation width does not match "
                                "shard " +
                                rmap::ToString(id));
+    }
+    if (!state->delta_pending) {
+      state->first_delta_us = obs::MonotonicUs();
+      state->delta_pending = true;
     }
     state->deltas.push_back(std::move(observation));
   }
@@ -176,11 +188,21 @@ void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state,
   std::shared_ptr<const MapSnapshot> previous_snapshot;
   size_t pre_delta_rows = 0;
   uint64_t version = 0;
+  double first_delta_us = 0.0;
+  bool drained_deltas = false;
   {
     std::lock_guard<std::mutex> lock(state->mu);
     pre_delta_rows = state->base.size();
     for (rmap::Record& r : state->deltas) state->base.Add(std::move(r));
     state->deltas.clear();
+    if (state->delta_pending) {
+      // This rebuild drains the pending window; its publish settles the
+      // staleness clock even if a new window opens while the pipeline
+      // runs (that one is the next rebuild's to settle).
+      first_delta_us = state->first_delta_us;
+      drained_deltas = true;
+      state->delta_pending = false;
+    }
     working = state->base;
     if (options_.incremental) {
       previous = state->last_imputed;  // O(1) pointer grab, never a copy
@@ -197,124 +219,141 @@ void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state,
   Rng rebuild_rng = state->rng.Fork();
 
   // The paper pipeline, online: differentiate -> MNAR fill -> (re-)impute
-  // -> fit -> freeze -> hot-swap.
-  Timer impute_timer;
-  rmap::MaskMatrix mask =
-      options_.delta_aware_differentiation && previous_mask != nullptr
-          ? differentiator_->DifferentiateDelta(working, *previous_mask,
-                                                pre_delta_rows, rebuild_rng)
-          : differentiator_->Differentiate(working, rebuild_rng);
-  // Saved pre-fill: FillMnar flips kMnar cells to observed values in
-  // place, and delta-aware reuse needs the labels as differentiated.
-  std::shared_ptr<const rmap::MaskMatrix> mask_for_next;
-  if (options_.incremental) {
-    mask_for_next = std::make_shared<const rmap::MaskMatrix>(mask);
-  }
-  imputers::FillMnar(&working, &mask);
-  imputers::IncrementalContext ctx;
-  std::shared_ptr<const imputers::ImputerState> new_state;
-  std::vector<size_t> dirty_rows;
-  const bool warm = previous != nullptr;
-  if (warm) {
-    ctx.previous_imputed = previous.get();
-    // The *merged-map* row count the previous imputation claims to cover —
-    // not previous.size(): a record-dropping backend (CaseDeletion) makes
-    // them differ, and the base implementation's alignment guard must see
-    // that and fall back to a cold rebuild instead of splicing from
-    // misaligned rows.
-    ctx.num_previous_records = pre_delta_rows;
-    ctx.previous_state = std::move(warm_state);
-  }
-  if (options_.incremental) {
-    ctx.dirty_neighbors = options_.dirty_neighbors;
-    ctx.max_dirty_fraction = options_.max_dirty_fraction;
-    ctx.state_out = &new_state;
-    if (warm) ctx.dirty_rows_out = &dirty_rows;
-  }
-  rmap::RadioMap imputed =
-      imputer_->ImputeIncremental(working, mask, ctx, rebuild_rng);
-  imputed.set_shard(id);
-  const double impute_seconds = impute_timer.ElapsedSeconds();
-
-  Timer fit_timer;
-  SnapshotOptions snapshot_options;
-  snapshot_options.version = version;
-  snapshot_options.cell_size_m = options_.snapshot_cell_size_m;
-  // Warm snapshot build: only when this rebuild actually ran the warm
-  // imputation path (dirty_rows then describes the imputed map) and the
-  // previous snapshot survived. Each warm stage re-verifies its own
-  // preconditions inside BuildSnapshot and degrades to cold.
-  if (warm && previous_snapshot != nullptr &&
-      (options_.estimator_warm_start || options_.incremental_index)) {
-    snapshot_options.warm_previous = previous_snapshot.get();
-    snapshot_options.changed_rows = &dirty_rows;
-    snapshot_options.warm_estimator = options_.estimator_warm_start;
-    snapshot_options.warm_index = options_.incremental_index;
-  }
-  std::shared_ptr<const MapSnapshot> snapshot = BuildSnapshot(
-      imputed, estimator_factory_(), rebuild_rng, snapshot_options);
-  const double fit_seconds = fit_timer.ElapsedSeconds();
-
-  Timer publish_timer;
-  store_->Publish(id, snapshot);
-  const double publish_seconds = publish_timer.ElapsedSeconds();
-
-  {
-    std::lock_guard<std::mutex> lock(state->mu);
-    // The imputed copy and warm-start blob only feed the next incremental
-    // rebuild; in cold mode retaining them would just double every
-    // shard's resident map for nothing.
+  // -> fit -> freeze -> hot-swap. The whole pipeline is containment-
+  // wrapped: a throwing differentiator/imputer/estimator publishes
+  // nothing, the shard keeps serving its previous snapshot (the folded
+  // deltas stay in the base for the next attempt), and the trigger
+  // thread — which may be running this rebuild directly — survives.
+  try {
+    Timer impute_timer;
+    rmap::MaskMatrix mask =
+        options_.delta_aware_differentiation && previous_mask != nullptr
+            ? differentiator_->DifferentiateDelta(working, *previous_mask,
+                                                  pre_delta_rows, rebuild_rng)
+            : differentiator_->Differentiate(working, rebuild_rng);
+    // Saved pre-fill: FillMnar flips kMnar cells to observed values in
+    // place, and delta-aware reuse needs the labels as differentiated.
+    std::shared_ptr<const rmap::MaskMatrix> mask_for_next;
     if (options_.incremental) {
-      state->last_imputed =
-          std::make_shared<const rmap::RadioMap>(std::move(imputed));
-      state->imputer_state = std::move(new_state);
-      state->last_mask = std::move(mask_for_next);
-      state->last_snapshot = snapshot;
+      mask_for_next = std::make_shared<const rmap::MaskMatrix>(mask);
     }
-    state->since_rebuild.Reset();
-  }
-  // Registry side: aggregate counters + stage histograms, plus this
-  // shard's labeled last-rebuild gauges (resolved once; rebuild_mu makes
-  // this shard's Set single-writer).
-  metrics.completed.Add();
-  if (warm) metrics.warm.Add();
-  metrics.stage_queue_us.Observe(queue_wait_seconds * 1e6);
-  metrics.stage_impute_us.Observe(impute_seconds * 1e6);
-  metrics.stage_fit_us.Observe(fit_seconds * 1e6);
-  metrics.stage_publish_us.Observe(publish_seconds * 1e6);
-  if (state->rebuilds_counter == nullptr) {
-    const std::string label = "shard=\"" + rmap::ToString(id) + "\"";
-    state->last_impute_gauge = &obs::GetGauge(
-        "rmi_updater_last_impute_seconds",
-        "Impute phase of the shard's most recent rebuild, seconds", label);
-    state->last_fit_gauge = &obs::GetGauge(
-        "rmi_updater_last_fit_seconds",
-        "Fit phase of the shard's most recent rebuild, seconds", label);
-    state->last_publish_gauge = &obs::GetGauge(
-        "rmi_updater_last_publish_seconds",
-        "Publish phase of the shard's most recent rebuild, seconds", label);
-    state->rebuilds_counter = &obs::GetCounter(
-        "rmi_updater_shard_rebuilds_total", "Completed rebuilds per shard",
-        label);
-  }
-  state->last_impute_gauge->Set(impute_seconds);
-  state->last_fit_gauge->Set(fit_seconds);
-  state->last_publish_gauge->Set(publish_seconds);
-  state->rebuilds_counter->Add();
-  {
+    imputers::FillMnar(&working, &mask);
+    imputers::IncrementalContext ctx;
+    std::shared_ptr<const imputers::ImputerState> new_state;
+    std::vector<size_t> dirty_rows;
+    const bool warm = previous != nullptr;
+    if (warm) {
+      ctx.previous_imputed = previous.get();
+      // The *merged-map* row count the previous imputation claims to cover
+      // — not previous.size(): a record-dropping backend (CaseDeletion)
+      // makes them differ, and the base implementation's alignment guard
+      // must see that and fall back to a cold rebuild instead of splicing
+      // from misaligned rows.
+      ctx.num_previous_records = pre_delta_rows;
+      ctx.previous_state = std::move(warm_state);
+    }
+    if (options_.incremental) {
+      ctx.dirty_neighbors = options_.dirty_neighbors;
+      ctx.max_dirty_fraction = options_.max_dirty_fraction;
+      ctx.state_out = &new_state;
+      if (warm) ctx.dirty_rows_out = &dirty_rows;
+    }
+    rmap::RadioMap imputed =
+        imputer_->ImputeIncremental(working, mask, ctx, rebuild_rng);
+    imputed.set_shard(id);
+    const double impute_seconds = impute_timer.ElapsedSeconds();
+
+    Timer fit_timer;
+    SnapshotOptions snapshot_options;
+    snapshot_options.version = version;
+    snapshot_options.cell_size_m = options_.snapshot_cell_size_m;
+    // Warm snapshot build: only when this rebuild actually ran the warm
+    // imputation path (dirty_rows then describes the imputed map) and the
+    // previous snapshot survived. Each warm stage re-verifies its own
+    // preconditions inside BuildSnapshot and degrades to cold.
+    if (warm && previous_snapshot != nullptr &&
+        (options_.estimator_warm_start || options_.incremental_index)) {
+      snapshot_options.warm_previous = previous_snapshot.get();
+      snapshot_options.changed_rows = &dirty_rows;
+      snapshot_options.warm_estimator = options_.estimator_warm_start;
+      snapshot_options.warm_index = options_.incremental_index;
+    }
+    std::shared_ptr<const MapSnapshot> snapshot = BuildSnapshot(
+        imputed, estimator_factory_(), rebuild_rng, snapshot_options);
+    const double fit_seconds = fit_timer.ElapsedSeconds();
+
+    Timer publish_timer;
+    store_->Publish(id, snapshot);
+    const double publish_seconds = publish_timer.ElapsedSeconds();
+    if (drained_deltas) {
+      // Freshness SLO input: the oldest observation of the drained window
+      // waited this long to be reflected in a served snapshot.
+      metrics.staleness_us.Observe(obs::MonotonicUs() - first_delta_us);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      // The imputed copy and warm-start blob only feed the next
+      // incremental rebuild; in cold mode retaining them would just
+      // double every shard's resident map for nothing.
+      if (options_.incremental) {
+        state->last_imputed =
+            std::make_shared<const rmap::RadioMap>(std::move(imputed));
+        state->imputer_state = std::move(new_state);
+        state->last_mask = std::move(mask_for_next);
+        state->last_snapshot = snapshot;
+      }
+      state->since_rebuild.Reset();
+    }
+    // Registry side: aggregate counters + stage histograms, plus this
+    // shard's labeled last-rebuild gauges (resolved once; rebuild_mu makes
+    // this shard's Set single-writer).
+    metrics.completed.Add();
+    if (warm) metrics.warm.Add();
+    metrics.stage_queue_us.Observe(queue_wait_seconds * 1e6);
+    metrics.stage_impute_us.Observe(impute_seconds * 1e6);
+    metrics.stage_fit_us.Observe(fit_seconds * 1e6);
+    metrics.stage_publish_us.Observe(publish_seconds * 1e6);
+    if (state->rebuilds_counter == nullptr) {
+      const std::string label = "shard=\"" + rmap::ToString(id) + "\"";
+      state->last_impute_gauge = &obs::GetGauge(
+          "rmi_updater_last_impute_seconds",
+          "Impute phase of the shard's most recent rebuild, seconds", label);
+      state->last_fit_gauge = &obs::GetGauge(
+          "rmi_updater_last_fit_seconds",
+          "Fit phase of the shard's most recent rebuild, seconds", label);
+      state->last_publish_gauge = &obs::GetGauge(
+          "rmi_updater_last_publish_seconds",
+          "Publish phase of the shard's most recent rebuild, seconds",
+          label);
+      state->rebuilds_counter = &obs::GetCounter(
+          "rmi_updater_shard_rebuilds_total", "Completed rebuilds per shard",
+          label);
+    }
+    state->last_impute_gauge->Set(impute_seconds);
+    state->last_fit_gauge->Set(fit_seconds);
+    state->last_publish_gauge->Set(publish_seconds);
+    state->rebuilds_counter->Add();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rebuilds_completed;
+      stats_.last_rebuild_seconds = timer.ElapsedSeconds();
+      RebuildStats& shard_stats = stats_.per_shard[id];
+      ++shard_stats.completed;
+      if (warm) ++shard_stats.warm;
+      shard_stats.last_queue_wait_seconds = queue_wait_seconds;
+      shard_stats.last_impute_seconds = impute_seconds;
+      shard_stats.last_fit_seconds = fit_seconds;
+      shard_stats.last_publish_seconds = publish_seconds;
+      shard_stats.last_total_seconds =
+          impute_seconds + fit_seconds + publish_seconds;
+      shard_stats.total_busy_seconds += shard_stats.last_total_seconds;
+    }
+  } catch (const std::exception&) {
+    metrics.failed.Add();
     std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.rebuilds_completed;
-    stats_.last_rebuild_seconds = timer.ElapsedSeconds();
-    RebuildStats& shard_stats = stats_.per_shard[id];
-    ++shard_stats.completed;
-    if (warm) ++shard_stats.warm;
-    shard_stats.last_queue_wait_seconds = queue_wait_seconds;
-    shard_stats.last_impute_seconds = impute_seconds;
-    shard_stats.last_fit_seconds = fit_seconds;
-    shard_stats.last_publish_seconds = publish_seconds;
-    shard_stats.last_total_seconds =
-        impute_seconds + fit_seconds + publish_seconds;
-    shard_stats.total_busy_seconds += shard_stats.last_total_seconds;
+    ++stats_.rebuilds_failed;
+    ++stats_.per_shard[id].failed;
   }
 }
 

@@ -29,7 +29,13 @@
 // configured thread count; bit-reproducibility across those two paths
 // requires an imputer with num_threads = 1, which is how the
 // determinism tests run.) Rebuilds never hold the delta mutex during the
-// long impute/fit phase, so ingest is never stalled by a rebuild. Stop()
+// long impute/fit phase, so ingest is never stalled by a rebuild. A
+// rebuild whose impute/fit/publish pipeline throws is contained: the
+// failure is counted (MapUpdaterStats::rebuilds_failed and the
+// rmi_updater_rebuild_failures_total series), nothing is published, the
+// shard keeps serving its previous snapshot, and the folded observations
+// stay in the base for the next attempt — a faulty imputer never kills
+// the trigger loop. Stop()
 // is graceful: the in-flight rebuild batch runs to completion (and
 // publishes) before the loop joins.
 #ifndef RMI_SERVING_MAP_UPDATER_H_
@@ -102,6 +108,11 @@ struct MapUpdaterOptions {
 /// recently completed rebuild of that shard).
 struct RebuildStats {
   size_t completed = 0;
+  /// Rebuilds that threw out of the impute/fit/publish pipeline. A failed
+  /// rebuild publishes nothing — the shard keeps serving its previous
+  /// snapshot — and the folded observations stay in the base for the next
+  /// attempt.
+  size_t failed = 0;
   /// Rebuilds that offered the imputer a warm-start context (previous
   /// imputation + state). The imputer may still have chosen the cold path
   /// internally (e.g. dirty set too large).
@@ -119,6 +130,10 @@ struct MapUpdaterStats {
   size_t ingested = 0;            ///< observations accepted by Ingest
   size_t rebuilds_started = 0;
   size_t rebuilds_completed = 0;  ///< each one published a snapshot
+  /// Rebuilds whose pipeline threw (imputer/estimator failure). The
+  /// trigger loop survives — the shard serves its previous snapshot and
+  /// retries once its triggers trip again.
+  size_t rebuilds_failed = 0;
   double last_rebuild_seconds = 0.0;  ///< differentiate+impute+fit+publish
   /// Queue-wait and phase breakdown per shard.
   std::map<rmap::ShardId, RebuildStats> per_shard;
@@ -194,6 +209,13 @@ class MapUpdater {
     /// input for FitWarm / BuildIncremental on the next rebuild.
     std::shared_ptr<const MapSnapshot> last_snapshot;
     Timer since_rebuild;
+    /// Staleness tracking (guarded by mu): MonotonicUs() when the first
+    /// delta of the current pending window arrived. The rebuild that
+    /// drains the window observes publish-time minus this into
+    /// rmi_updater_staleness_us — the "oldest unserved survey data" age
+    /// the soak's freshness SLO gates on.
+    double first_delta_us = 0.0;
+    bool delta_pending = false;
     uint64_t next_version = 1;
     std::mutex rebuild_mu;  ///< one rebuild at a time per shard
     /// Per-shard RNG stream, seeded by (options.seed, shard id). Forked

@@ -1,0 +1,57 @@
+#include "workload/arrivals.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace rmi::workload {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}
+
+double DiurnalCurve::Level(double t) const {
+  return 1.0 + amplitude * std::sin(kTwoPi * t / period_s + phase_rad);
+}
+
+double DiurnalCurve::Integral(double t0, double t1) const {
+  // ∫ 1 + A sin(w t + p) dt = t - (A/w) cos(w t + p)
+  const double w = kTwoPi / period_s;
+  const auto antiderivative = [&](double t) {
+    return t - amplitude / w * std::cos(w * t + phase_rad);
+  };
+  return antiderivative(t1) - antiderivative(t0);
+}
+
+std::vector<double> PoissonArrivals(const ArrivalScheduleOptions& options) {
+  RMI_CHECK_GT(options.duration_s, 0.0);
+  RMI_CHECK_GT(options.expected_total, 0.0);
+  RMI_CHECK_LT(std::abs(options.curve.amplitude), 1.0);
+
+  const DiurnalCurve& curve = options.curve;
+  const double norm = curve.Integral(0.0, options.duration_s);
+  RMI_CHECK_GT(norm, 0.0);
+  // rate(t) = expected_total * Level(t) / norm; its integral over the run
+  // is exactly expected_total. Thinning runs a homogeneous process at the
+  // peak rate and keeps each event with probability rate(t)/peak.
+  const double scale = options.expected_total / norm;
+  const double peak = scale * (1.0 + std::abs(curve.amplitude));
+
+  Rng rng(options.seed);
+  std::vector<double> arrivals;
+  arrivals.reserve(size_t(options.expected_total * 1.05) + 16);
+  double t = 0.0;
+  while (true) {
+    // Exponential gap at the peak rate (inverse CDF; Uniform is in [0,1)
+    // so 1-u is in (0,1] and the log is finite).
+    t += -std::log(1.0 - rng.Uniform()) / peak;
+    if (t >= options.duration_s) break;
+    if (rng.Uniform() < scale * curve.Level(t) / peak) {
+      arrivals.push_back(t);
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace rmi::workload

@@ -1,0 +1,91 @@
+#include "workload/session.h"
+
+#include "common/missing.h"
+
+namespace rmi::workload {
+
+namespace {
+
+/// AP-overlap score of `fingerprint` against one shard profile, mirroring
+/// the classifier's audibility rule. Returns false when the profile width
+/// no longer matches the scan (stale generation after a dimension change).
+bool ProfileOverlap(const serving::ShardProfile& profile,
+                    const std::vector<double>& fingerprint, size_t* overlap) {
+  if (profile.num_aps() != fingerprint.size()) return false;
+  size_t score = 0;
+  for (size_t a = 0; a < fingerprint.size(); ++a) {
+    if (!IsNull(fingerprint[a]) && profile.observable[a]) ++score;
+  }
+  *overlap = score;
+  return true;
+}
+
+}  // namespace
+
+SessionRouter::SessionRouter(const serving::ShardedSnapshotStore* store,
+                             const serving::ShardRouter* router,
+                             const SessionRoutingOptions& options)
+    : store_(store), router_(router), options_(options) {}
+
+void SessionRouter::Reset() {
+  has_shard_ = false;
+  challenger_streak_ = 0;
+}
+
+std::optional<rmap::ShardId> SessionRouter::Route(
+    const std::vector<double>& fingerprint) {
+  auto decision = router_->ClassifyFloor(fingerprint);
+
+  if (!has_shard_) {
+    if (!decision) return std::nullopt;
+    has_shard_ = true;
+    current_ = decision->shard;
+    challenger_streak_ = 0;
+    return current_;
+  }
+
+  // Resolve the sticky shard's overlap against the *live* profile. A
+  // vanished or width-mismatched profile means the venue re-registered
+  // under this session — adopt the classifier's fresh verdict outright.
+  size_t sticky_overlap = 0;
+  auto sticky_profile = store_->Profile(current_);
+  if (!sticky_profile ||
+      !ProfileOverlap(*sticky_profile, fingerprint, &sticky_overlap)) {
+    has_shard_ = false;
+    challenger_streak_ = 0;
+    if (!decision) return std::nullopt;
+    has_shard_ = true;
+    current_ = decision->shard;
+    ++switches_;
+    return current_;
+  }
+
+  if (!decision || decision->shard == current_) {
+    // No challenger this scan; the streak is broken.
+    challenger_streak_ = 0;
+    return current_;
+  }
+
+  // A different shard won the raw vote. Only a decisive win counts toward
+  // the handover streak, and the streak must be on the same challenger.
+  const bool decisive =
+      decision->overlap >= sticky_overlap + options_.overlap_margin;
+  if (!decisive) {
+    challenger_streak_ = 0;
+    return current_;
+  }
+  if (challenger_streak_ == 0 || !(challenger_ == decision->shard)) {
+    challenger_ = decision->shard;
+    challenger_streak_ = 1;
+  } else {
+    ++challenger_streak_;
+  }
+  if (challenger_streak_ >= options_.confirm_count) {
+    current_ = challenger_;
+    challenger_streak_ = 0;
+    ++switches_;
+  }
+  return current_;
+}
+
+}  // namespace rmi::workload

@@ -1,0 +1,77 @@
+// Sessionful client-side routing with floor-boundary hysteresis.
+//
+// A stateless classifier flaps on boundary fingerprints: near a stairwell
+// the AP-overlap scores of the two floors differ by at most a hair, and
+// scan-to-scan jitter flips the winner back and forth — each flip is a
+// spurious shard handover. SessionRouter is the client-side fix: a session
+// sticks to its current shard until a challenger shard *decisively* beats
+// it (overlap advantage >= overlap_margin) on confirm_count consecutive
+// scans. Real floor changes clear the margin within a scan or two of
+// leaving the portal; boundary jitter never does.
+//
+// The session resolves the sticky shard's own overlap through the store's
+// live profiles, so it also self-heals across dimension-changing
+// republishes (an online AP add/remove): a profile whose width no longer
+// matches the scan means the venue moved on, and the session re-homes to
+// the classifier's fresh verdict instead of riding a stale hint into a
+// validation reject.
+//
+// Thread-safety: a SessionRouter is one device's session — single-caller
+// state, not shared. The router/store it reads are safe for any number of
+// concurrent sessions.
+#ifndef RMI_WORKLOAD_SESSION_H_
+#define RMI_WORKLOAD_SESSION_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "radiomap/radio_map.h"
+#include "serving/shard_router.h"
+
+namespace rmi::workload {
+
+struct SessionRoutingOptions {
+  /// A challenger must beat the sticky shard's AP overlap by at least this
+  /// many APs to score a confirmation.
+  size_t overlap_margin = 2;
+  /// Consecutive confirming scans required before the session hands over.
+  size_t confirm_count = 2;
+};
+
+class SessionRouter {
+ public:
+  SessionRouter(const serving::ShardedSnapshotStore* store,
+                const serving::ShardRouter* router,
+                const SessionRoutingOptions& options = {});
+
+  /// Routes one scan: returns the shard hint for the localization batch,
+  /// or nullopt when even the raw classifier has no verdict and no sticky
+  /// shard exists yet (the caller lets the serving layer classify or
+  /// reject). Updates the hysteresis state.
+  std::optional<rmap::ShardId> Route(const std::vector<double>& fingerprint);
+
+  /// Drops the sticky shard (e.g. after the serving layer rejected the
+  /// session's hint): the next Route re-homes from the classifier.
+  void Reset();
+
+  bool has_shard() const { return has_shard_; }
+  const rmap::ShardId& current() const { return current_; }
+  /// Completed handovers (sticky-shard changes after the first adoption).
+  size_t switches() const { return switches_; }
+
+ private:
+  const serving::ShardedSnapshotStore* store_;
+  const serving::ShardRouter* router_;
+  const SessionRoutingOptions options_;
+
+  bool has_shard_ = false;
+  rmap::ShardId current_;
+  rmap::ShardId challenger_;
+  size_t challenger_streak_ = 0;
+  size_t switches_ = 0;
+};
+
+}  // namespace rmi::workload
+
+#endif  // RMI_WORKLOAD_SESSION_H_

@@ -1,0 +1,368 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/missing.h"
+
+namespace rmi::workload {
+
+namespace {
+
+/// Same decay law the synthetic venue generator uses, so churn-added APs
+/// are statistically indistinguishable from the original scatter.
+double DecayRssi(double distance_m, double extra_loss_db, double jitter_db) {
+  return ClampRssi(-28.0 - 2.1 * distance_m - extra_loss_db + jitter_db);
+}
+
+/// Silences global AP `ap` on shard `shard`: column to the MNAR fill,
+/// audibility entry dropped.
+void SilenceAp(serving::VenueShard* shard, size_t ap) {
+  rmap::RadioMap& map = shard->map;
+  for (size_t i = 0; i < map.size(); ++i) {
+    map.record(i).rssi[ap] = kMnarFillDbm;
+  }
+  auto& audible = shard->audible_aps;
+  audible.erase(std::remove(audible.begin(), audible.end(), ap),
+                audible.end());
+}
+
+}  // namespace
+
+size_t SoakVenue::ShardIndex(const rmap::ShardId& id) const {
+  const size_t guess = size_t(id.building) * options.floors_per_building +
+                       size_t(id.floor);
+  if (guess < shards.size() && shards[guess].id == id) return guess;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (shards[s].id == id) return s;
+  }
+  RMI_CHECK(false);
+  return shards.size();
+}
+
+SoakVenue MakeSoakVenue(const SoakVenueOptions& options) {
+  serving::VenueOptions vopt;
+  vopt.num_buildings = options.num_buildings;
+  vopt.floors_per_building = options.floors_per_building;
+  vopt.nx = options.nx;
+  vopt.ny = options.ny;
+  vopt.aps_per_floor = options.aps_per_floor;
+  vopt.bleed_aps = options.bleed_aps;
+  vopt.floor_attenuation_db = options.floor_attenuation_db;
+  vopt.seed = options.seed;
+
+  SoakVenue venue;
+  venue.options = options;
+  venue.shards = serving::MakeSyntheticVenue(vopt);
+  venue.bluetooth.assign(venue.shards.size(), 0);
+
+  // Convert the last N shards to Bluetooth-only floors: of the floor's own
+  // AP block only `beacons` survive (as BLE beacons, with extra path
+  // loss); the rest of the block goes dark venue-wide — on the floor
+  // itself and as bleed-through on its neighbours.
+  const size_t num_bt =
+      std::min(options.bluetooth_floors, venue.shards.size());
+  const size_t per_floor = options.aps_per_floor;
+  for (size_t k = 0; k < num_bt; ++k) {
+    const size_t s = venue.shards.size() - 1 - k;
+    venue.bluetooth[s] = 1;
+    const size_t block = s * per_floor;
+    const size_t beacons = std::min(options.beacons_per_bluetooth_floor,
+                                    per_floor);
+    for (size_t a = 0; a < per_floor; ++a) {
+      const size_t ap = block + a;
+      if (a < beacons) {
+        // Beacon: stays audible everywhere it was, minus BLE path loss.
+        for (serving::VenueShard& shard : venue.shards) {
+          for (size_t i = 0; i < shard.map.size(); ++i) {
+            double& v = shard.map.record(i).rssi[ap];
+            if (v > kMnarFillDbm) {
+              v = ClampRssi(v - options.bluetooth_extra_path_loss_db);
+            }
+          }
+        }
+      } else {
+        for (serving::VenueShard& shard : venue.shards) {
+          SilenceAp(&shard, ap);
+        }
+      }
+    }
+    // The BLE floor also stops hearing Wi-Fi bleed-through from its
+    // neighbours: the device on that floor scans beacons only.
+    serving::VenueShard& bt = venue.shards[s];
+    const std::vector<size_t> audible = bt.audible_aps;
+    for (size_t ap : audible) {
+      if (ap < block || ap >= block + beacons) SilenceAp(&bt, ap);
+    }
+  }
+  return venue;
+}
+
+SoakVenue AddGlobalAps(const SoakVenue& venue, size_t count, uint64_t seed) {
+  RMI_CHECK(!venue.shards.empty());
+  const size_t d_old = venue.num_aps();
+  const size_t d_new = d_old + count;
+  Rng rng(SplitMix64Combine(seed, d_old));
+
+  // Deterministic host floor + position per new AP (Bluetooth floors are
+  // skipped as hosts — a new Wi-Fi AP lands on a Wi-Fi floor).
+  std::vector<size_t> hosts(count);
+  std::vector<geom::Point> positions(count);
+  for (size_t k = 0; k < count; ++k) {
+    size_t host = rng.Index(venue.shards.size());
+    for (size_t tries = 0; venue.bluetooth[host] && tries < venue.shards.size();
+         ++tries) {
+      host = (host + 1) % venue.shards.size();
+    }
+    hosts[k] = host;
+    positions[k] = {rng.Uniform(0.0, double(venue.options.nx - 1)),
+                    rng.Uniform(0.0, double(venue.options.ny - 1))};
+  }
+
+  SoakVenue next;
+  next.options = venue.options;
+  next.bluetooth = venue.bluetooth;
+  next.shards.reserve(venue.shards.size());
+  for (size_t s = 0; s < venue.shards.size(); ++s) {
+    const serving::VenueShard& old_shard = venue.shards[s];
+    serving::VenueShard shard;
+    shard.id = old_shard.id;
+    shard.audible_aps = old_shard.audible_aps;
+    rmap::RadioMap map(d_new);
+    map.set_shard(shard.id);
+    for (size_t i = 0; i < old_shard.map.size(); ++i) {
+      rmap::Record r = old_shard.map.record(i);
+      r.rssi.resize(d_new, kMnarFillDbm);
+      for (size_t k = 0; k < count; ++k) {
+        if (hosts[k] != s) continue;
+        const double d = geom::Distance(r.rp, positions[k]);
+        r.rssi[d_old + k] = DecayRssi(d, 0.0, rng.Uniform(-1.5, 1.5));
+      }
+      map.Add(std::move(r));
+    }
+    shard.map = std::move(map);
+    for (size_t k = 0; k < count; ++k) {
+      if (hosts[k] == s) shard.audible_aps.push_back(d_old + k);
+    }
+    next.shards.push_back(std::move(shard));
+  }
+  return next;
+}
+
+SoakVenue RemoveLastGlobalAps(const SoakVenue& venue, size_t count) {
+  RMI_CHECK(!venue.shards.empty());
+  RMI_CHECK_LT(count, venue.num_aps());
+  const size_t d_new = venue.num_aps() - count;
+
+  SoakVenue next;
+  next.options = venue.options;
+  next.bluetooth = venue.bluetooth;
+  next.shards.reserve(venue.shards.size());
+  for (const serving::VenueShard& old_shard : venue.shards) {
+    serving::VenueShard shard;
+    shard.id = old_shard.id;
+    rmap::RadioMap map(d_new);
+    map.set_shard(shard.id);
+    for (size_t i = 0; i < old_shard.map.size(); ++i) {
+      rmap::Record r = old_shard.map.record(i);
+      r.rssi.resize(d_new);
+      map.Add(std::move(r));
+    }
+    shard.map = std::move(map);
+    for (size_t ap : old_shard.audible_aps) {
+      if (ap < d_new) shard.audible_aps.push_back(ap);
+    }
+    next.shards.push_back(std::move(shard));
+  }
+  return next;
+}
+
+std::vector<rmap::Record> MakeResurveyObservations(const SoakVenue& venue,
+                                                   size_t shard_index,
+                                                   size_t count,
+                                                   double drift_db,
+                                                   double time_base,
+                                                   uint64_t seed) {
+  RMI_CHECK_LT(shard_index, venue.shards.size());
+  const rmap::RadioMap& truth = venue.shards[shard_index].map;
+  Rng rng(SplitMix64Combine(seed, shard_index));
+  std::vector<rmap::Record> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    rmap::Record r = truth.record(rng.Index(truth.size()));
+    r.id = rmap::Record::kUnassignedId;
+    r.time = time_base + double(i);
+    for (double& v : r.rssi) {
+      if (v > kMnarFillDbm) {
+        v = ClampRssi(v + rng.Gaussian(0.0, drift_db));
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+TraceKey WalkerTrace::At(double t) const {
+  RMI_CHECK(!keys.empty());
+  if (t <= keys.front().t) {
+    TraceKey k = keys.front();
+    k.t = std::max(t, start_s);
+    return k;
+  }
+  if (t >= keys.back().t) {
+    TraceKey k = keys.back();
+    k.t = std::min(t, end_s);
+    return k;
+  }
+  const auto it = std::upper_bound(
+      keys.begin(), keys.end(), t,
+      [](double value, const TraceKey& k) { return value < k.t; });
+  const TraceKey& b = *it;
+  const TraceKey& a = *(it - 1);
+  TraceKey k;
+  k.t = t;
+  if (a.shard == b.shard) {
+    const double span = b.t - a.t;
+    const double f = span > 0.0 ? (t - a.t) / span : 0.0;
+    k.shard = a.shard;
+    k.pos = {a.pos.x + f * (b.pos.x - a.pos.x),
+             a.pos.y + f * (b.pos.y - a.pos.y)};
+  } else {
+    // Portal dwell: the walker holds the portal position and is counted on
+    // the origin floor until the transition keyframe.
+    k.shard = a.shard;
+    k.pos = a.pos;
+  }
+  return k;
+}
+
+size_t WalkerTrace::FloorTransitions() const {
+  size_t n = 0;
+  for (size_t i = 1; i < keys.size(); ++i) {
+    n += keys[i].shard != keys[i - 1].shard;
+  }
+  return n;
+}
+
+std::vector<WalkerTrace> GenerateWalkers(const SoakVenue& venue,
+                                         const WalkerOptions& options) {
+  RMI_CHECK(!venue.shards.empty());
+  const double max_x = double(venue.options.nx - 1);
+  const double max_y = double(venue.options.ny - 1);
+  const size_t floors = venue.options.floors_per_building;
+
+  std::vector<WalkerTrace> walkers;
+  walkers.reserve(options.num_walkers);
+  for (size_t w = 0; w < options.num_walkers; ++w) {
+    // Each trace draws from its own stream: trace w is a pure function of
+    // (venue, options, seed, w) no matter who generates which walker.
+    Rng rng(SplitMix64Combine(options.seed, w));
+    WalkerTrace trace;
+    trace.walker = w;
+    // Unit draw in [-0.5, 0.5]; SynthesizeFingerprint scales it by
+    // FingerprintOptions::device_bias_db_range.
+    trace.device_bias_db = rng.Uniform(-0.5, 0.5);
+
+    const double len = options.duration_s *
+                       rng.Uniform(options.min_session_fraction,
+                                   options.max_session_fraction);
+    trace.start_s =
+        rng.Uniform(0.0, std::max(0.0, options.duration_s - len));
+    trace.end_s = std::min(options.duration_s, trace.start_s + len);
+
+    rmap::ShardId shard = venue.shards[rng.Index(venue.num_shards())].id;
+    geom::Point pos{rng.Uniform(0.0, max_x), rng.Uniform(0.0, max_y)};
+    double t = trace.start_s;
+    trace.keys.push_back({t, shard, pos});
+
+    while (t < trace.end_s) {
+      const double speed =
+          rng.Uniform(options.min_speed_mps, options.max_speed_mps);
+      const bool can_change_floor = floors > 1;
+      if (can_change_floor && rng.Bernoulli(options.floor_change_probability)) {
+        // Head for a portal (stairwell at the origin corner, elevator at
+        // the far corner), transit, emerge one floor up or down at the
+        // same spot.
+        const geom::Point portal = rng.Bernoulli(0.5)
+                                       ? geom::Point{0.0, 0.0}
+                                       : geom::Point{max_x, max_y};
+        int32_t next_floor = shard.floor + (rng.Bernoulli(0.5) ? 1 : -1);
+        if (next_floor < 0) next_floor = 1;
+        if (next_floor >= int32_t(floors)) next_floor = int32_t(floors) - 2;
+        const double walk = geom::Distance(pos, portal) / speed;
+        const double t_portal = t + std::max(walk, 1e-3);
+        trace.keys.push_back({t_portal, shard, portal});
+        const double t_out = t_portal + options.portal_dwell_s;
+        shard = rmap::ShardId{shard.building, next_floor};
+        trace.keys.push_back({t_out, shard, portal});
+        pos = portal;
+        t = t_out;
+      } else {
+        const geom::Point wp{rng.Uniform(0.0, max_x),
+                             rng.Uniform(0.0, max_y)};
+        const double walk = geom::Distance(pos, wp) / speed;
+        const double t_wp = t + std::max(walk, 1e-3);
+        trace.keys.push_back({t_wp, shard, wp});
+        pos = wp;
+        t = t_wp;
+        const double pause = rng.Uniform(0.0, options.max_pause_s);
+        if (pause > 0.0) {
+          t += pause;
+          trace.keys.push_back({t, shard, pos});
+        }
+      }
+    }
+    // The last leg overshoots the drawn session length; the session ends
+    // where the trajectory actually ends, so keys span exactly
+    // [start_s, end_s].
+    trace.end_s = trace.keys.back().t;
+    walkers.push_back(std::move(trace));
+  }
+  return walkers;
+}
+
+std::vector<double> SynthesizeFingerprint(const SoakVenue& venue,
+                                          const TraceKey& truth,
+                                          double device_bias_db,
+                                          const FingerprintOptions& options,
+                                          Rng& rng) {
+  const size_t s = venue.ShardIndex(truth.shard);
+  const serving::VenueShard& shard = venue.shards[s];
+  const size_t d = venue.num_aps();
+
+  // The floor's references sit on a 1 m grid in row-major (y, x) order —
+  // the nearest reference is an O(1) index computation, not a search.
+  const size_t nx = venue.options.nx;
+  const auto clamp_idx = [](double v, size_t n) {
+    const long i = std::lround(v);
+    if (i < 0) return size_t(0);
+    if (size_t(i) >= n) return n - 1;
+    return size_t(i);
+  };
+  const size_t gx = clamp_idx(truth.pos.x, nx);
+  const size_t gy = clamp_idx(truth.pos.y, venue.options.ny);
+  const rmap::Record& ref = shard.map.record(gy * nx + gx);
+
+  const double bias = device_bias_db * options.device_bias_db_range;
+  std::vector<double> fp(d, kNull);
+  size_t observed = 0;
+  size_t first_live = d;
+  for (size_t ap : shard.audible_aps) {
+    const double v = ref.rssi[ap];
+    if (v <= kMnarFillDbm) continue;  // column silenced by churn
+    if (first_live == d) first_live = ap;
+    if (rng.Bernoulli(options.drop_rate)) continue;
+    fp[ap] = ClampRssi(v + bias +
+                       rng.Uniform(-options.jitter_db, options.jitter_db));
+    ++observed;
+  }
+  if (observed == 0 && first_live < d) {  // a scan is never all-null
+    fp[first_live] = ClampRssi(ref.rssi[first_live] + bias);
+  }
+  return fp;
+}
+
+}  // namespace rmi::workload

@@ -1,0 +1,182 @@
+// Mobility-trace workload substrate: the venue-scale world model behind
+// the soak harness (bench_soak) and the scenario-breadth tests.
+//
+// Three pieces, all deterministic pure functions of (options, seed):
+//
+//  * SoakVenue — a 50-200-shard multi-building venue built on
+//    serving::MakeSyntheticVenue, extended with the churn operators the
+//    soak injects mid-run: AddGlobalAps (a new AP appears and *widens the
+//    global fingerprint dimension* of every shard), RemoveLastGlobalAps
+//    (the inverse), and Bluetooth-only floors (a handful of beacons
+//    instead of a Wi-Fi AP block — Table VIII's scenario).
+//
+//  * WalkerTrace — one device's trajectory through the venue as
+//    timestamped keyframes (the DisruptaBLE kth_walkers shape: a walker
+//    trace is a stream of timestamped create/move/transition events).
+//    Walkers follow waypoint paths inside their floor rectangle and cross
+//    floors through stairwell/elevator portals with a dwell, so a
+//    trajectory carries genuine cross-shard handovers. At(t) recovers the
+//    ground-truth (shard, position) at any instant — the soak's APE and
+//    handover-error reference.
+//
+//  * SynthesizeFingerprint — what the device's radio actually reports at a
+//    trace point: the nearest reference fingerprint of the true shard,
+//    per-device calibration bias, per-scan jitter, and dropout, restricted
+//    to the APs audible on that floor.
+#ifndef RMI_WORKLOAD_TRACE_H_
+#define RMI_WORKLOAD_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/geometry.h"
+#include "radiomap/radio_map.h"
+#include "serving/synthetic.h"
+
+namespace rmi::workload {
+
+struct SoakVenueOptions {
+  /// Venue scale: num_buildings * floors_per_building shards. The soak
+  /// acceptance bar is >= 50 shards; tests and --smoke shrink this.
+  size_t num_buildings = 10;
+  size_t floors_per_building = 5;
+  /// Reference grid per floor (1 m pitch).
+  size_t nx = 12;
+  size_t ny = 9;
+  size_t aps_per_floor = 8;
+  size_t bleed_aps = 3;
+  double floor_attenuation_db = 18.0;
+  /// The last `bluetooth_floors` shards (ShardId order) are converted to
+  /// Bluetooth-only coverage: `beacons_per_bluetooth_floor` of their own
+  /// APs stay audible (with BLE's extra path loss), everything else —
+  /// including bleed-through from neighbours — goes silent. Queries from
+  /// such a floor observe only a handful of dimensions.
+  size_t bluetooth_floors = 1;
+  size_t beacons_per_bluetooth_floor = 4;
+  double bluetooth_extra_path_loss_db = 6.0;
+  uint64_t seed = 1;
+};
+
+/// A venue generation: the shard maps the updater serves from plus the
+/// workload-facing audibility metadata. Churn operators produce *new*
+/// generations (value semantics), so the soak can hold several and swap an
+/// atomic pointer between them while clients are in flight.
+struct SoakVenue {
+  SoakVenueOptions options;
+  std::vector<serving::VenueShard> shards;
+  /// Per-shard Bluetooth-only flag, aligned with `shards`.
+  std::vector<uint8_t> bluetooth;
+
+  size_t num_shards() const { return shards.size(); }
+  size_t num_aps() const {
+    return shards.empty() ? 0 : shards.front().map.num_aps();
+  }
+  /// Index into `shards` of `id` (shards are in ascending ShardId order).
+  size_t ShardIndex(const rmap::ShardId& id) const;
+};
+
+SoakVenue MakeSoakVenue(const SoakVenueOptions& options);
+
+/// Online AP addition — the dimension-changing churn event: `count` new
+/// APs are mounted on deterministic host floors and every shard's map is
+/// re-derived at global dimension D + count (non-host shards hold the
+/// -100 dBm MNAR fill in the new columns). Republishing the result makes
+/// every in-flight old-width query either classify against the (skipped)
+/// stale profiles or be cleanly rejected by snapshot validation — never a
+/// torn read.
+SoakVenue AddGlobalAps(const SoakVenue& venue, size_t count, uint64_t seed);
+
+/// Online AP removal — the inverse event: the last `count` global AP
+/// columns are dropped and the dimension shrinks back to D - count.
+SoakVenue RemoveLastGlobalAps(const SoakVenue& venue, size_t count);
+
+/// Resurvey drift: `count` fresh survey observations of shard
+/// `shard_index`, drawn from its reference rows with `drift_db` Gaussian
+/// RSSI drift — the MapUpdater::Ingest feed of the soak's churn phase.
+std::vector<rmap::Record> MakeResurveyObservations(const SoakVenue& venue,
+                                                   size_t shard_index,
+                                                   size_t count,
+                                                   double drift_db,
+                                                   double time_base,
+                                                   uint64_t seed);
+
+struct WalkerOptions {
+  size_t num_walkers = 512;
+  /// Virtual timeline the walkers live on, seconds. Sessions start inside
+  /// [0, duration_s] and end when their last waypoint leg completes (the
+  /// final leg may overshoot slightly); the soak maps this span onto wall
+  /// time and At() clamps outside it.
+  double duration_s = 300.0;
+  /// Session length drawn uniform from this fraction range of duration_s.
+  double min_session_fraction = 0.25;
+  double max_session_fraction = 0.6;
+  double min_speed_mps = 0.6;
+  double max_speed_mps = 1.4;
+  /// Per-waypoint probability of heading for a portal and changing floors
+  /// (only within the walker's building).
+  double floor_change_probability = 0.15;
+  /// Pause at a reached waypoint, uniform [0, max].
+  double max_pause_s = 4.0;
+  /// Stairwell/elevator transit time between floors.
+  double portal_dwell_s = 5.0;
+  uint64_t seed = 7;
+};
+
+/// One trajectory keyframe: the walker is at `pos` on `shard` at virtual
+/// time `t`. Between consecutive same-shard keyframes the position is the
+/// linear interpolation; across a floor transition the walker holds the
+/// portal position for the dwell and switches shard at the later keyframe.
+struct TraceKey {
+  double t = 0.0;
+  rmap::ShardId shard;
+  geom::Point pos;
+};
+
+struct WalkerTrace {
+  size_t walker = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  /// Per-device RSSI calibration bias as a unit draw in [-0.5, 0.5]
+  /// (constant for the session); SynthesizeFingerprint scales it by
+  /// FingerprintOptions::device_bias_db_range.
+  double device_bias_db = 0.0;
+  std::vector<TraceKey> keys;  ///< time-ascending, first at start_s
+
+  /// Ground truth at virtual time `t` (clamped into [start_s, end_s]).
+  TraceKey At(double t) const;
+  /// Number of shard changes along the trajectory.
+  size_t FloorTransitions() const;
+  bool ActiveAt(double t) const { return t >= start_s && t <= end_s; }
+};
+
+/// Deterministic per-seed walker population: trace i is a pure function of
+/// (venue options, walker options, seed, i) — bit-reproducible regardless
+/// of call site or thread.
+std::vector<WalkerTrace> GenerateWalkers(const SoakVenue& venue,
+                                         const WalkerOptions& options);
+
+struct FingerprintOptions {
+  double jitter_db = 2.0;
+  /// Per-AP dropout probability of an audible AP in one scan.
+  double drop_rate = 0.25;
+  /// Device calibration bias range: each walker's constant offset is drawn
+  /// uniform from [-range/2, +range/2] dB.
+  double device_bias_db_range = 3.0;
+};
+
+/// The device's scan at trace point `truth`: the true shard's nearest
+/// reference fingerprint (grid lookup, O(1)) with the device bias, per-AP
+/// jitter, and dropout applied; APs inaudible on the floor stay kNull. At
+/// least one AP is always observed. Width = venue.num_aps() of *this*
+/// generation, so a venue swap changes what in-flight devices report.
+std::vector<double> SynthesizeFingerprint(const SoakVenue& venue,
+                                          const TraceKey& truth,
+                                          double device_bias_db,
+                                          const FingerprintOptions& options,
+                                          Rng& rng);
+
+}  // namespace rmi::workload
+
+#endif  // RMI_WORKLOAD_TRACE_H_

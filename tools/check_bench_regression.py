@@ -2,9 +2,12 @@
 """CI perf-regression gate for the serving benches.
 
 Compares freshly produced BENCH_serving.json / BENCH_sharded.json /
-BENCH_rebuild.json against the committed baselines in bench/baselines/ and
-fails when any gated metric regresses by more than the allowed fraction
-(default 15%).
+BENCH_rebuild.json / BENCH_scaling.json / BENCH_obs.json / BENCH_soak.json
+against the committed baselines in bench/baselines/ and fails when any
+gated metric regresses by more than the allowed fraction (default 15%).
+The soak's SLO fields additionally gate against absolute ceilings (p999
+latency, staleness p95, handover error) — acceptance bars, not
+baseline-relative ratios.
 
 Only higher-is-better metrics gate (qps, publish throughput, and the
 rebuild bench's speedup ratios); latency percentiles and accuracy numbers
@@ -29,10 +32,12 @@ Refreshing baselines after an intentional perf change:
     ./build/bench_sharded_serving --smoke &&
     ./build/bench_rebuild_latency --smoke &&
     ./build/bench_obs_overhead --smoke &&
+    ./build/bench_soak --smoke &&
     cp build/BENCH_serving.json bench/baselines/serving.json &&
     cp build/BENCH_sharded.json bench/baselines/sharded.json &&
     cp build/BENCH_rebuild.json bench/baselines/rebuild.json &&
-    cp build/BENCH_obs.json bench/baselines/obs.json
+    cp build/BENCH_obs.json bench/baselines/obs.json &&
+    cp build/BENCH_soak.json bench/baselines/soak.json
 (For the rebuild baseline, prefer the most conservative of a few runs —
 its gated speedup ratios wobble more than closed-loop qps numbers.)
 """
@@ -43,9 +48,13 @@ import sys
 
 # (fresh file, baseline file, gated qps keys, context-only keys — dotted
 # paths into the JSON, plus optional 5th element: multicore-only gated
-# keys, and optional 6th element: a dict of absolute floors, metrics that
-# must be >= the given value regardless of the baseline). Context keys are
-# printed for the CI log but never gate.
+# keys, optional 6th element: a dict of absolute floors, metrics that
+# must be >= the given value regardless of the baseline, and optional 7th
+# element: a dict of absolute ceilings — lower-is-better SLO metrics that
+# must stay <= the given value; used for the soak's latency/staleness/
+# handover bars, which are acceptance criteria rather than
+# baseline-relative throughputs). Context keys are printed for the CI log
+# but never gate.
 BENCHES = [
     (
         "BENCH_serving.json",
@@ -138,6 +147,34 @@ BENCHES = [
         [],
         {"enabled_over_disabled": 0.98},
     ),
+    # Trace-driven soak. achieved_qps is the open-loop pacing outcome and
+    # gates against the baseline ratio like the other benches (a stall in
+    # serving or a wedged updater collapses it). The SLO fields are
+    # lower-is-better acceptance bars, so they gate against absolute
+    # ceilings, deliberately far above a healthy run (smoke measures p999
+    # ~30 ms, staleness p95 ~10 ms, handover error ~0.02 on one core) —
+    # they catch a cliff, not runner-to-runner noise.
+    (
+        "BENCH_soak.json",
+        "soak.json",
+        ["load.achieved_qps"],
+        [
+            "slo.p50_ms",
+            "slo.p99_ms",
+            "slo.ape_p50_m",
+            "slo.ape_p95_m",
+            "slo.staleness_p50_ms",
+            "churn.rebuilds_completed",
+            "churn.rebuild_failures",
+        ],
+        [],
+        {},
+        {
+            "slo.p999_ms": 500.0,
+            "slo.staleness_p95_ms": 1000.0,
+            "slo.handover_error_rate": 0.05,
+        },
+    ),
 ]
 
 
@@ -171,6 +208,7 @@ def main():
         fresh_name, baseline_name, keys, context_keys = entry[:4]
         multicore_keys = entry[4] if len(entry) > 4 else []
         absolute_floors = entry[5] if len(entry) > 5 else {}
+        absolute_ceilings = entry[6] if len(entry) > 6 else {}
         fresh_path = fresh_dir / fresh_name
         baseline_path = baseline_dir / baseline_name
         if not baseline_path.exists():
@@ -228,6 +266,21 @@ def main():
                 failures.append(
                     f"{fresh_name}: {key} = {fresh_value:.4f} below the "
                     f"absolute floor {floor_value:.4f}"
+                )
+        for key, ceiling_value in absolute_ceilings.items():
+            fresh_value = lookup(fresh, key)
+            if fresh_value is None:
+                failures.append(f"{fresh_name}: metric {key} disappeared")
+                continue
+            verdict = "ok" if fresh_value <= ceiling_value else "SLO BREACH"
+            print(
+                f"  {key:24s} {fresh_value:12.4f} <= ceiling "
+                f"{ceiling_value:.4f}  {verdict}"
+            )
+            if fresh_value > ceiling_value:
+                failures.append(
+                    f"{fresh_name}: {key} = {fresh_value:.4f} above the "
+                    f"absolute ceiling {ceiling_value:.4f}"
                 )
         for key in context_keys:
             fresh_value = lookup(fresh, key)
