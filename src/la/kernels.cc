@@ -241,17 +241,22 @@ void GemmFastNN(const Matrix& a, const Matrix& b, Matrix* c) {
                    a.rows(), a.cols(), b.cols());
 }
 
+double QuerySquaredDistanceRow(const double* query, const double* ref_row,
+                               size_t d) {
+  double s = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    if (std::isnan(query[j])) continue;
+    const double dd = query[j] - ref_row[j];
+    s += dd * dd;
+  }
+  return s;
+}
+
 double QuerySquaredDistance(const double* query, const Matrix& refs,
                             size_t row) {
   RMI_CHECK_LT(row, refs.rows());
-  const double* f = refs.data().data() + row * refs.cols();
-  double s = 0.0;
-  for (size_t j = 0; j < refs.cols(); ++j) {
-    if (std::isnan(query[j])) continue;
-    const double d = query[j] - f[j];
-    s += d * d;
-  }
-  return s;
+  return QuerySquaredDistanceRow(query, refs.data().data() + row * refs.cols(),
+                                 refs.cols());
 }
 
 void RowSquaredNorms(const Matrix& a, Matrix* out) {

@@ -94,11 +94,16 @@ double RowSquaredDistance(const Matrix& a, size_t ra, const Matrix& b,
 /// distance expansion ||q - f||^2 = ||q||^2 + ||f||^2 - 2 q.f.
 void RowSquaredNorms(const Matrix& a, Matrix* out);
 
-/// Squared L2 distance between `query` (length = refs.cols(); NaN entries
-/// are skipped) and row `row` of refs — distance over the query's observed
+/// Squared L2 distance between `query` (length d; NaN entries are skipped)
+/// and the reference row at `ref_row` — distance over the query's observed
 /// dimensions only. The single scoring loop shared by the estimators'
-/// scalar path, the batch rescore, and the serving spatial index: exactness
-/// claims across those layers rest on them summing identically.
+/// scalar path, the batch rescore, the serving spatial index, and the
+/// zero-copy snapshot view (which rescoring against mapped raw storage):
+/// exactness claims across those layers rest on them summing identically.
+double QuerySquaredDistanceRow(const double* query, const double* ref_row,
+                               size_t d);
+
+/// Matrix-row convenience over QuerySquaredDistanceRow.
 double QuerySquaredDistance(const double* query, const Matrix& refs,
                             size_t row);
 

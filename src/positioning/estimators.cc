@@ -117,21 +117,28 @@ void KnnEstimator::Fit(const rmap::RadioMap& map, Rng&) {
   quant_ = la::QuantizeRefs(features_mat_);
 }
 
-geom::Point KnnEstimator::EstimateFromCandidates(
-    std::vector<std::pair<double, size_t>> candidates) const {
+geom::Point CombineKnnCandidates(
+    std::vector<std::pair<double, size_t>> candidates,
+    const geom::Point* labels, size_t k, bool weighted) {
   RMI_CHECK(!candidates.empty());
-  const size_t take = std::min(k_, candidates.size());
+  const size_t take = std::min(k, candidates.size());
   std::partial_sort(candidates.begin(), candidates.begin() + take,
                     candidates.end());
   geom::Point acc;
   double wsum = 0.0;
   for (size_t t = 0; t < take; ++t) {
     const double w =
-        weighted_ ? 1.0 / (std::sqrt(candidates[t].first) + 1e-6) : 1.0;
-    acc = acc + labels_[candidates[t].second] * w;
+        weighted ? 1.0 / (std::sqrt(candidates[t].first) + 1e-6) : 1.0;
+    acc = acc + labels[candidates[t].second] * w;
     wsum += w;
   }
   return acc * (1.0 / wsum);
+}
+
+geom::Point KnnEstimator::EstimateFromCandidates(
+    std::vector<std::pair<double, size_t>> candidates) const {
+  return CombineKnnCandidates(std::move(candidates), labels_.data(), k_,
+                              weighted_);
 }
 
 geom::Point KnnEstimator::Estimate(
@@ -247,13 +254,19 @@ std::vector<geom::Point> KnnEstimator::EstimateBatch(
   return out;
 }
 
-std::vector<geom::Point> KnnEstimator::EstimateBatchQuant(
-    const la::Matrix& fingerprints) const {
-  const size_t b = fingerprints.rows();
-  const size_t d = features_mat_.cols();
-  const size_t r = labels_.size();
-  const size_t rp = quant_.padded;
-  RMI_CHECK_EQ(quant_.rows, r);
+void KnnQuantEstimateBatch(const la::QuantizedRefsSpan& quant,
+                           const double* refs, const geom::Point* labels,
+                           size_t num_refs, size_t num_aps, size_t k,
+                           bool weighted, const la::Matrix& queries,
+                           geom::Point* out) {
+  const size_t b = queries.rows();
+  const size_t d = num_aps;
+  const size_t r = num_refs;
+  const size_t rp = quant.padded;
+  RMI_CHECK_EQ(quant.rows, r);
+  RMI_CHECK_EQ(quant.cols, d);
+  RMI_CHECK_EQ(queries.cols(), d);
+  if (b == 0) return;
 
   // Quantize every query row with the reference side's per-AP parameters:
   // int8 values (kNull -> 0), a 0/1 observation mask, the integer query
@@ -268,11 +281,11 @@ std::vector<geom::Point> KnnEstimator::EstimateBatchQuant(
   {
     obs::ScopedStageTimer rank_timer(EstimatorMetrics::Get().rank_us);
     for (size_t i = 0; i < b; ++i) {
-      const double* row = fingerprints.data().data() + i * d;
+      const double* row = queries.data().data() + i * d;
       RMI_CHECK(HasObserved(row, d));
       partial[i] = HasNull(row, d);
       any_partial |= partial[i] != 0;
-      qnorm[i] = la::QuantizeQueryRow(quant_, row, qvals.data() + i * d,
+      qnorm[i] = la::QuantizeQueryRow(quant, row, qvals.data() + i * d,
                                       qmask.data() + i * d, &qerr[i]);
     }
 
@@ -280,17 +293,15 @@ std::vector<geom::Point> KnnEstimator::EstimateBatchQuant(
     // over the observed dims (nulls hold dq = 0 and mask = 0, so they drop
     // out of every term). Exact integer arithmetic — the only information
     // loss is the quantization itself, which E bounds.
-    la::GemmQuantNN(qvals.data(), quant_.values.data(), cross.data(), b, d,
-                    rp);
+    la::GemmQuantNN(qvals.data(), quant.values, cross.data(), b, d, rp);
     if (any_partial) {
       masked_norms.resize(b * rp);
-      la::MaskedQuantRowNorms(qmask.data(), quant_.squares.data(),
+      la::MaskedQuantRowNorms(qmask.data(), quant.squares,
                               masked_norms.data(), b, d, rp);
     }
   }
 
-  const size_t num_candidates = std::min(r, k_ + std::max<size_t>(k_, 8));
-  std::vector<geom::Point> out(b);
+  const size_t num_candidates = std::min(r, k + std::max<size_t>(k, 8));
   std::vector<int32_t> keys(r);
   std::vector<std::pair<double, size_t>> exact;
   StreamingTopC<int32_t> top(num_candidates,
@@ -299,7 +310,7 @@ std::vector<geom::Point> KnnEstimator::EstimateBatchQuant(
   for (size_t i = 0; i < b; ++i) {
     const int32_t* crow = cross.data() + i * rp;
     const int32_t* norms =
-        partial[i] ? masked_norms.data() + i * rp : quant_.norms.data();
+        partial[i] ? masked_norms.data() + i * rp : quant.norms;
     top.Reset();
     for (size_t j = 0; j < r; ++j) {
       const int32_t key = qnorm[i] + norms[j] - 2 * crow[j];
@@ -318,24 +329,32 @@ std::vector<geom::Point> KnnEstimator::EstimateBatchQuant(
     double threshold_sq = std::numeric_limits<double>::infinity();
     if (boundary != std::numeric_limits<int32_t>::max()) {
       const double a_c =
-          quant_.max_scale * std::sqrt(static_cast<double>(boundary));
-      const double t = (a_c + 2.0 * qerr[i]) / quant_.min_scale;
+          quant.max_scale * std::sqrt(static_cast<double>(boundary));
+      const double t = (a_c + 2.0 * qerr[i]) / quant.min_scale;
       threshold_sq = t * t * (1.0 + 1e-9) + 1.0;
     }
     const int32_t threshold =
         threshold_sq >= static_cast<double>(std::numeric_limits<int32_t>::max())
             ? std::numeric_limits<int32_t>::max()
             : static_cast<int32_t>(threshold_sq);
-    const double* src = fingerprints.data().data() + i * d;
+    const double* src = queries.data().data() + i * d;
     exact.clear();
     for (size_t j = 0; j < r; ++j) {
       if (keys[j] <= threshold) {
-        exact.emplace_back(la::QuerySquaredDistance(src, features_mat_, j),
+        exact.emplace_back(la::QuerySquaredDistanceRow(src, refs + j * d, d),
                            j);
       }
     }
-    out[i] = EstimateFromCandidates(exact);
+    out[i] = CombineKnnCandidates(exact, labels, k, weighted);
   }
+}
+
+std::vector<geom::Point> KnnEstimator::EstimateBatchQuant(
+    const la::Matrix& fingerprints) const {
+  std::vector<geom::Point> out(fingerprints.rows());
+  KnnQuantEstimateBatch(quant_.span(), features_mat_.data().data(),
+                        labels_.data(), labels_.size(), features_mat_.cols(),
+                        k_, weighted_, fingerprints, out.data());
   return out;
 }
 

@@ -43,6 +43,30 @@ enum class RankingKernel { kGemm, kFastNN, kQuant };
 void ExtractLabeledRows(const rmap::RadioMap& map, la::Matrix* fingerprints,
                         std::vector<geom::Point>* labels);
 
+/// Combines exact KNN candidates — (squared distance to reference row,
+/// row index) pairs — into a location: the mean of the k nearest labels,
+/// inverse-distance weighted when `weighted`. Candidates beyond the true
+/// top-k are ignored (partial sort by pair order), so any superset of the
+/// top-k yields the same answer. The one combine rule shared by
+/// KnnEstimator and the zero-copy snapshot view (store::MapSnapshotView).
+geom::Point CombineKnnCandidates(
+    std::vector<std::pair<double, size_t>> candidates,
+    const geom::Point* labels, size_t k, bool weighted);
+
+/// The int8 ranking + exact-rescore batch KNN core over raw storage:
+/// integer cross Gemm (+ masked-norm Gemm for partial rows), integer keys,
+/// branchless top-c, then a candidate band widened by the analytic
+/// quantization bound and re-scored exactly against the float master
+/// `refs` (num_refs x num_aps row-major, row r labeled by labels[r]).
+/// `out` receives queries.rows() estimates. Both the fitted KnnEstimator
+/// and the mmap-ed snapshot view call this with their own storage, so
+/// heap-served and file-served answers are bit-identical by construction.
+void KnnQuantEstimateBatch(const la::QuantizedRefsSpan& quant,
+                           const double* refs, const geom::Point* labels,
+                           size_t num_refs, size_t num_aps, size_t k,
+                           bool weighted, const la::Matrix& queries,
+                           geom::Point* out);
+
 /// Common interface of the location estimators (module C).
 ///
 /// Lifecycle and thread-safety: Fit() mutates and must complete before any

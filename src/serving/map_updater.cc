@@ -1,6 +1,7 @@
 #include "serving/map_updater.h"
 
 #include <chrono>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "serving/snapshot_persist.h"
 
 namespace rmi::serving {
 
@@ -55,6 +57,24 @@ struct UpdaterMetrics {
   obs::Histogram& stage_publish_us = obs::GetHistogram(
       "rmi_updater_stage_publish_us",
       "Store hot-swap per rebuild, microseconds");
+  obs::Counter& persisted = obs::GetCounter(
+      "rmi_updater_snapshots_persisted_total",
+      "Snapshot files durably renamed in after a publish");
+  obs::Counter& persist_failures = obs::GetCounter(
+      "rmi_updater_persist_failures_total",
+      "Snapshot persist attempts that failed on I/O (the publish itself "
+      "survived; WAL segments were retained)");
+  obs::Counter& wal_append_failures = obs::GetCounter(
+      "rmi_updater_wal_append_failures_total",
+      "Ingest WAL appends that failed on I/O (the observation stayed "
+      "buffered in memory)");
+  obs::Counter& restores = obs::GetCounter(
+      "rmi_updater_shards_restored_total",
+      "Fresh registrations served by a snapshot restore instead of a cold "
+      "impute cycle");
+  obs::Histogram& stage_persist_us = obs::GetHistogram(
+      "rmi_updater_stage_persist_us",
+      "Snapshot file write + WAL trim per rebuild, microseconds");
 
   static UpdaterMetrics& Get() {
     static UpdaterMetrics* m = new UpdaterMetrics();
@@ -88,6 +108,100 @@ MapUpdater::ShardState* MapUpdater::Find(const rmap::ShardId& id) const {
   return it == shards_.end() ? nullptr : it->second.get();
 }
 
+std::string MapUpdater::ShardDir(const rmap::ShardId& id) const {
+  if (options_.persist_dir.empty()) return "";
+  return (std::filesystem::path(options_.persist_dir) /
+          ("b" + std::to_string(id.building) + "_f" +
+           std::to_string(id.floor)))
+      .string();
+}
+
+void MapUpdater::OpenShardWal(const rmap::ShardId& id, ShardState* state,
+                              uint64_t watermark) {
+  store::Wal::Options wal_options;
+  wal_options.sync_every = options_.wal_sync_every;
+  store::Wal::ReplayResult replay;
+  std::string error;
+  auto wal = store::Wal::Open(
+      (std::filesystem::path(state->shard_dir) / "wal").string(), watermark,
+      wal_options, &replay, &error);
+  if (wal == nullptr) {
+    // Persistence degrades for this shard; serving is unaffected.
+    UpdaterMetrics::Get().persist_failures.Add();
+    return;
+  }
+  const size_t replayed = replay.records.size();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->wal = std::move(wal);
+    for (rmap::Record& r : replay.records) {
+      state->deltas.push_back(std::move(r));
+    }
+    if (replayed > 0 && !state->delta_pending) {
+      state->first_delta_us = obs::MonotonicUs();
+      state->delta_pending = true;
+    }
+  }
+  if (replayed > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.wal_records_replayed += replayed;
+  }
+}
+
+bool MapUpdater::TryRestoreShard(const rmap::ShardId& id, ShardState* state) {
+  // Scratch stream for the restore-time estimator re-fit (KNN's Fit is
+  // deterministic and ignores it): the shard's own stream must stay
+  // aligned with the uninterrupted run — forks are discarded below, one
+  // per persisted snapshot version.
+  Rng restore_rng(SplitMix64(ShardSeed(options_.seed, id)));
+  LoadedSnapshot loaded;
+  std::string error;
+  size_t num_aps = 0;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    num_aps = state->base.num_aps();
+  }
+  if (!LoadNewestSnapshot(state->shard_dir, id, num_aps, estimator_factory_,
+                          restore_rng, options_.snapshot_cell_size_m,
+                          positioning::RankingKernel::kQuant, &loaded,
+                          &error)) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> rebuild_lock(state->rebuild_mu);
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->base = std::move(loaded.base);
+    state->base.set_shard(id);
+    state->deltas.clear();
+    state->delta_pending = false;
+    state->last_imputed.reset();
+    state->imputer_state.reset();
+    state->last_mask.reset();
+    state->last_snapshot.reset();
+    // Resume the version sequence and RNG stream where the persisted run
+    // left off: rebuild V consumes fork V, so discard one fork per
+    // persisted version. (Caveat: *failed* rebuild attempts after the last
+    // persisted publish also consumed forks the file cannot know about;
+    // determinism across a crash is exact when rebuilds succeed.)
+    state->next_version = loaded.snapshot_version + 1;
+    state->rng = Rng(ShardSeed(options_.seed, id));
+    for (uint64_t v = 1; v <= loaded.snapshot_version; ++v) {
+      state->rng.Fork();
+    }
+    state->since_rebuild.Reset();
+  }
+  // Replays only segments at or above the snapshot's watermark — the ones
+  // below are inside the base section just adopted.
+  OpenShardWal(id, state, loaded.wal_watermark);
+  store_->Publish(id, loaded.snapshot);
+  UpdaterMetrics::Get().restores.Add();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shards_restored;
+  }
+  return true;
+}
+
 void MapUpdater::RegisterShard(const rmap::ShardId& id, rmap::RadioMap base) {
   RMI_CHECK(!base.empty());
   RMI_CHECK_GT(base.num_aps(), 0u);
@@ -104,6 +218,7 @@ void MapUpdater::RegisterShard(const rmap::ShardId& id, rmap::RadioMap base) {
       slot = std::make_unique<ShardState>();
       slot->base = std::move(base);
       slot->rng = Rng(ShardSeed(options_.seed, id));
+      slot->shard_dir = ShardDir(id);
       fresh = true;
     }
     state = slot.get();
@@ -123,6 +238,14 @@ void MapUpdater::RegisterShard(const rmap::ShardId& id, rmap::RadioMap base) {
     state->last_snapshot.reset();
     state->next_version = 1;
     state->rng = Rng(ShardSeed(options_.seed, id));
+    // Registration replaces the survey lineage: the persisted state of the
+    // old lineage must not shadow the new one (its snapshot versions are
+    // higher), so wipe it and start a fresh WAL.
+    if (!state->shard_dir.empty()) {
+      state->wal.reset();
+      std::error_code ec;
+      std::filesystem::remove_all(state->shard_dir, ec);
+    }
   }
   size_t num_shards = 0;
   {
@@ -132,6 +255,21 @@ void MapUpdater::RegisterShard(const rmap::ShardId& id, rmap::RadioMap base) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.shards = num_shards;
+  }
+  if (!state->shard_dir.empty()) {
+    if (fresh && options_.restore_on_register && TryRestoreShard(id, state)) {
+      // Restored and published; replayed deltas rebuild when triggers trip.
+      return;
+    }
+    if (fresh) {
+      // Cold start with persistence: whatever survives on disk belongs to
+      // a lineage we could not (or chose not to) restore — replaying its
+      // WAL against the caller's base would splice deltas onto the wrong
+      // survey state. Clean slate instead.
+      std::error_code ec;
+      std::filesystem::remove_all(state->shard_dir, ec);
+    }
+    OpenShardWal(id, state, 0);
   }
   Rebuild(id, state);  // first impute + fit + publish, synchronous
 }
@@ -154,6 +292,15 @@ void MapUpdater::Ingest(const rmap::ShardId& id, rmap::Record observation) {
       state->delta_pending = true;
     }
     state->deltas.push_back(std::move(observation));
+    if (state->wal != nullptr) {
+      // Group-commit durability for the delta, under the same mutex that
+      // ordered it into the buffer — WAL order is fold order. An append
+      // failure is contained: the observation stays buffered in memory.
+      std::string wal_error;
+      if (!state->wal->Append(state->deltas.back(), &wal_error)) {
+        UpdaterMetrics::Get().wal_append_failures.Add();
+      }
+    }
   }
   UpdaterMetrics::Get().ingested.Add();
   std::lock_guard<std::mutex> lock(stats_mu_);
@@ -190,11 +337,23 @@ void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state,
   uint64_t version = 0;
   double first_delta_us = 0.0;
   bool drained_deltas = false;
+  uint64_t wal_watermark = 0;
   {
     std::lock_guard<std::mutex> lock(state->mu);
     pre_delta_rows = state->base.size();
     for (rmap::Record& r : state->deltas) state->base.Add(std::move(r));
     state->deltas.clear();
+    if (state->wal != nullptr) {
+      // Seal the segments whose records were just folded; the new active
+      // seq is the watermark the snapshot file will carry (a restart
+      // replays only segments at or above it). Rotating under the same
+      // mutex hold as the fold keeps segment contents aligned with what
+      // entered the base. A rotate failure leaves the watermark 0, which
+      // skips this rebuild's persist — a snapshot claiming watermark 0
+      // would make a restart double-apply the folded deltas.
+      std::string wal_error;
+      wal_watermark = state->wal->Rotate(&wal_error);
+    }
     if (state->delta_pending) {
       // This rebuild drains the pending window; its publish settles the
       // staleness clock even if a new window opens while the pipeline
@@ -305,6 +464,35 @@ void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state,
       }
       state->since_rebuild.Reset();
     }
+
+    // Durable side of the publish. state->base is stable here: only the
+    // rebuild path mutates it (serialized by rebuild_mu — re-registration
+    // takes it too), so persisting reads it without holding mu and never
+    // stalls Ingest. A persist failure (or the rotate failure above) skips
+    // the file and the WAL trim — the retained segments keep the deltas
+    // recoverable — and serving continues on the published snapshot.
+    double persist_seconds = 0.0;
+    bool persisted_file = false;
+    if (!state->shard_dir.empty()) {
+      Timer persist_timer;
+      const bool watermark_ok = state->wal == nullptr || wal_watermark != 0;
+      std::string persist_error;
+      if (watermark_ok &&
+          PersistMapSnapshot(*snapshot, id, state->base, wal_watermark,
+                             state->shard_dir, &persist_error)) {
+        persisted_file = true;
+        PruneSnapshotFiles(state->shard_dir, options_.keep_snapshot_files);
+        if (state->wal != nullptr) {
+          state->wal->DeleteSegmentsBelow(wal_watermark);
+        }
+        metrics.persisted.Add();
+      } else {
+        metrics.persist_failures.Add();
+      }
+      persist_seconds = persist_timer.ElapsedSeconds();
+      metrics.stage_persist_us.Observe(persist_seconds * 1e6);
+    }
+
     // Registry side: aggregate counters + stage histograms, plus this
     // shard's labeled last-rebuild gauges (resolved once; rebuild_mu makes
     // this shard's Set single-writer).
@@ -338,13 +526,20 @@ void MapUpdater::Rebuild(const rmap::ShardId& id, ShardState* state,
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.rebuilds_completed;
       stats_.last_rebuild_seconds = timer.ElapsedSeconds();
+      if (persisted_file) {
+        ++stats_.snapshots_persisted;
+      } else if (!state->shard_dir.empty()) {
+        ++stats_.snapshot_persist_failures;
+      }
       RebuildStats& shard_stats = stats_.per_shard[id];
       ++shard_stats.completed;
       if (warm) ++shard_stats.warm;
+      if (persisted_file) ++shard_stats.persisted;
       shard_stats.last_queue_wait_seconds = queue_wait_seconds;
       shard_stats.last_impute_seconds = impute_seconds;
       shard_stats.last_fit_seconds = fit_seconds;
       shard_stats.last_publish_seconds = publish_seconds;
+      shard_stats.last_persist_seconds = persist_seconds;
       shard_stats.last_total_seconds =
           impute_seconds + fit_seconds + publish_seconds;
       shard_stats.total_busy_seconds += shard_stats.last_total_seconds;

@@ -59,6 +59,7 @@
 #include "radiomap/radio_map.h"
 #include "serving/shard_router.h"
 #include "serving/snapshot.h"
+#include "store/wal.h"
 
 namespace rmi::serving {
 
@@ -102,6 +103,31 @@ struct MapUpdaterOptions {
   /// grid cells touching a dirty row are re-summarized; bit-identical to a
   /// cold build (SpatialIndex::BuildIncremental) or falls back to one.
   bool incremental_index = true;
+  /// Persistence root. Empty (the default) = memory-only, the
+  /// pre-persistence behavior bit-for-bit. Non-empty: shard (b, f) keeps
+  /// its durable state under <persist_dir>/b<b>_f<f>/ — every publish
+  /// writes a zero-copy snapshot file there, every Ingest appends to the
+  /// shard's delta WAL (<shard dir>/wal/), and a fresh registration
+  /// restores from that state instead of re-running imputation (see
+  /// `restore_on_register`). Persistence I/O failures are contained: they
+  /// are counted, and the in-memory serving path continues unaffected.
+  std::string persist_dir;
+  /// WAL group commit: fsync once per this many appends (1 = every
+  /// append). The unsynced tail of a group — at most this many
+  /// observations — is the crash-loss window.
+  size_t wal_sync_every = 32;
+  /// Snapshot files retained per shard after each publish (>= 1 enforced;
+  /// the newest file is never pruned).
+  size_t keep_snapshot_files = 2;
+  /// When persistence is on: a *fresh* registration first tries to map the
+  /// shard's newest valid snapshot and replay its WAL — publishing the
+  /// restored snapshot (superseding the `base` argument, which the
+  /// persisted base already contains) and queueing the replayed deltas —
+  /// and falls back to the cold differentiate -> impute -> fit cycle when
+  /// nothing valid exists. Re-registering an existing shard always wipes
+  /// the shard's durable state and rebuilds cold (registration replaces
+  /// the survey lineage; stale snapshot versions must not shadow it).
+  bool restore_on_register = true;
 };
 
 /// Per-shard rebuild telemetry (all "last_" fields describe the most
@@ -117,10 +143,14 @@ struct RebuildStats {
   /// imputation + state). The imputer may still have chosen the cold path
   /// internally (e.g. dirty set too large).
   size_t warm = 0;
+  /// Rebuilds whose snapshot file was durably persisted (always <=
+  /// completed; a persist I/O failure leaves the publish intact).
+  size_t persisted = 0;
   double last_queue_wait_seconds = 0.0;  ///< trip detection -> worker start
   double last_impute_seconds = 0.0;   ///< differentiate + MNAR fill + impute
   double last_fit_seconds = 0.0;      ///< estimator fit + snapshot freeze
   double last_publish_seconds = 0.0;  ///< store hot-swap
+  double last_persist_seconds = 0.0;  ///< snapshot file write + WAL trim
   double last_total_seconds = 0.0;    ///< impute + fit + publish (no queue)
   double total_busy_seconds = 0.0;    ///< cumulative last_total over all
 };
@@ -134,6 +164,15 @@ struct MapUpdaterStats {
   /// trigger loop survives — the shard serves its previous snapshot and
   /// retries once its triggers trip again.
   size_t rebuilds_failed = 0;
+  /// Snapshot files durably renamed in (0 when persistence is off).
+  size_t snapshots_persisted = 0;
+  /// Persist attempts that failed on I/O (the publish itself survived).
+  size_t snapshot_persist_failures = 0;
+  /// Delta records recovered from shard WALs at registration restore.
+  size_t wal_records_replayed = 0;
+  /// Fresh registrations served by a snapshot restore instead of a cold
+  /// impute cycle.
+  size_t shards_restored = 0;
   double last_rebuild_seconds = 0.0;  ///< differentiate+impute+fit+publish
   /// Queue-wait and phase breakdown per shard.
   std::map<rmap::ShardId, RebuildStats> per_shard;
@@ -217,6 +256,15 @@ class MapUpdater {
     double first_delta_us = 0.0;
     bool delta_pending = false;
     uint64_t next_version = 1;
+    /// Durable-state root of this shard (<persist_dir>/b<b>_f<f>), empty
+    /// when persistence is off. Written at registration (before the first
+    /// rebuild, or under rebuild_mu on re-register), read under rebuild_mu.
+    std::string shard_dir;
+    /// The shard's delta WAL, nullptr when persistence is off (or its open
+    /// failed — persistence degrades, serving continues). Append/Rotate
+    /// run under mu; segment deletion runs under rebuild_mu only (it never
+    /// touches the active segment).
+    std::unique_ptr<store::Wal> wal;
     std::mutex rebuild_mu;  ///< one rebuild at a time per shard
     /// Per-shard RNG stream, seeded by (options.seed, shard id). Forked
     /// once per rebuild; accessed only under rebuild_mu.
@@ -235,6 +283,18 @@ class MapUpdater {
   void Rebuild(const rmap::ShardId& id, ShardState* state,
                double queue_wait_seconds = 0.0);
   void TriggerLoop();
+
+  /// <persist_dir>/b<building>_f<floor> ("" when persistence is off).
+  std::string ShardDir(const rmap::ShardId& id) const;
+  /// Opens `state`'s WAL with the given replay watermark, queueing any
+  /// replayed records as pending deltas. A failed open leaves wal null
+  /// (persistence degrades, serving continues). Caller must hold exclusive
+  /// access to the shard (registration, or rebuild_mu).
+  void OpenShardWal(const rmap::ShardId& id, ShardState* state,
+                    uint64_t watermark);
+  /// The restore-on-register path: maps the newest valid snapshot, replays
+  /// the WAL, publishes. False = nothing restored (caller rebuilds cold).
+  bool TryRestoreShard(const rmap::ShardId& id, ShardState* state);
 
   ShardedSnapshotStore* store_;
   const cluster::Differentiator* differentiator_;

@@ -51,6 +51,12 @@ struct MapSnapshot {
   std::vector<geom::Point> positions;
   /// Location-grid pruning index over (fingerprints, positions).
   SpatialIndex index;
+  /// Whatever the snapshot's borrowed state lives in beyond the estimator —
+  /// today the mmap-ed store::MappedSnapshot a restored snapshot serves
+  /// from (type-erased so this header stays store-agnostic). Rides the
+  /// snapshot through epoch retirement: the mapping is unmapped only when
+  /// the snapshot itself is reclaimed, so no view pointer can dangle.
+  std::shared_ptr<const void> backing;
   /// Integrity stamp over the fields above, taken at build time. Torn
   /// *reads* are precluded by the store's atomic shared_ptr protocol; the
   /// stamp guards against a publisher bug — mutation between BuildSnapshot

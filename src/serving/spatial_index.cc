@@ -259,4 +259,56 @@ std::vector<Neighbor> SpatialIndex::Search(const la::Matrix& refs,
   return best.Take();
 }
 
+store::GridImage SpatialIndex::Image() const {
+  store::GridImage img;
+  img.cell_size_m = cell_size_m_;
+  img.min_x = min_x_;
+  img.min_y = min_y_;
+  img.dim = dim_;
+  img.num_refs = num_refs_;
+  img.grid_cols = grid_cols_;
+  img.grid_rows = grid_rows_;
+  img.slot.reserve(slot_.size());
+  for (int s : slot_) img.slot.push_back(static_cast<int32_t>(s));
+  img.cell_offsets.reserve(cells_.size() + 1);
+  img.cell_offsets.push_back(0);
+  img.centroids.reserve(cells_.size() * dim_);
+  img.radii.reserve(cells_.size());
+  for (const Cell& cell : cells_) {
+    for (size_t m : cell.members) {
+      img.members.push_back(static_cast<uint32_t>(m));
+    }
+    img.cell_offsets.push_back(img.members.size());
+    img.centroids.insert(img.centroids.end(), cell.centroid.begin(),
+                         cell.centroid.end());
+    img.radii.push_back(cell.radius);
+  }
+  return img;
+}
+
+void SpatialIndex::Restore(const store::GridImage& image) {
+  cell_size_m_ = image.cell_size_m;
+  min_x_ = image.min_x;
+  min_y_ = image.min_y;
+  dim_ = image.dim;
+  num_refs_ = image.num_refs;
+  grid_cols_ = image.grid_cols;
+  grid_rows_ = image.grid_rows;
+  slot_.assign(image.slot.begin(), image.slot.end());
+  cells_.clear();
+  cells_.resize(image.num_cells());
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    Cell& cell = cells_[c];
+    const uint64_t begin = image.cell_offsets[c];
+    const uint64_t end = image.cell_offsets[c + 1];
+    cell.members.reserve(end - begin);
+    for (uint64_t i = begin; i < end; ++i) {
+      cell.members.push_back(image.members[i]);
+    }
+    cell.centroid.assign(image.centroids.begin() + c * image.dim,
+                         image.centroids.begin() + (c + 1) * image.dim);
+    cell.radius = image.radii[c];
+  }
+}
+
 }  // namespace rmi::serving

@@ -27,6 +27,7 @@
 
 #include "geometry/geometry.h"
 #include "la/matrix.h"
+#include "store/snapshot_format.h"
 
 namespace rmi::serving {
 
@@ -90,6 +91,17 @@ class SpatialIndex {
   /// Rows scored by the last Search on this thread, for prune-rate
   /// diagnostics (thread-local; benches read it right after a Search).
   static size_t last_scored();
+
+  /// Flattens the grid into the persistence layer's POD image (cell order
+  /// and member order preserved, so Restore() reproduces this index
+  /// bit-for-bit — including the summation-order-sensitive centroids).
+  store::GridImage Image() const;
+
+  /// Rebuilds the index from a persisted image — the restart path that
+  /// skips the grid build entirely. The image must describe the same
+  /// reference set the caller serves (row count is checked at use via
+  /// Search's contract).
+  void Restore(const store::GridImage& image);
 
  private:
   struct Cell {

@@ -1,0 +1,99 @@
+#include "store/record_codec.h"
+
+#include <cstring>
+#include <limits>
+
+#include "store/crc32c.h"
+
+namespace rmi::store {
+
+namespace {
+
+template <typename T>
+void AppendPod(T v, std::string* out) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(const uint8_t* p, size_t len, size_t* off, T* v) {
+  if (len - *off < sizeof(T)) return false;
+  std::memcpy(v, p + *off, sizeof(T));
+  *off += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+void AppendRecordPayload(const rmap::Record& r, std::string* out) {
+  AppendPod<uint64_t>(r.id, out);
+  AppendPod<uint64_t>(r.path_id, out);
+  AppendPod<double>(r.time, out);
+  AppendPod<double>(r.rp.x, out);
+  AppendPod<double>(r.rp.y, out);
+  AppendPod<uint8_t>(r.has_rp ? 1 : 0, out);
+  AppendPod<uint32_t>(static_cast<uint32_t>(r.rssi.size()), out);
+  for (double v : r.rssi) AppendPod<double>(v, out);
+}
+
+bool ParseRecordPayload(const uint8_t* p, size_t len, rmap::Record* out) {
+  size_t off = 0;
+  uint64_t id = 0, path_id = 0;
+  double time = 0.0, x = 0.0, y = 0.0;
+  uint8_t has_rp = 0;
+  uint32_t num_aps = 0;
+  if (!ReadPod(p, len, &off, &id) || !ReadPod(p, len, &off, &path_id) ||
+      !ReadPod(p, len, &off, &time) || !ReadPod(p, len, &off, &x) ||
+      !ReadPod(p, len, &off, &y) || !ReadPod(p, len, &off, &has_rp) ||
+      !ReadPod(p, len, &off, &num_aps)) {
+    return false;
+  }
+  if (has_rp > 1) return false;
+  if (len - off != static_cast<size_t>(num_aps) * sizeof(double)) {
+    return false;
+  }
+  out->id = id;
+  out->path_id = path_id;
+  out->time = time;
+  out->rp = geom::Point(x, y);
+  out->has_rp = has_rp != 0;
+  out->rssi.resize(num_aps);
+  for (uint32_t j = 0; j < num_aps; ++j) {
+    ReadPod(p, len, &off, &out->rssi[j]);
+  }
+  return true;
+}
+
+void AppendRecordFrame(const rmap::Record& r, std::string* out) {
+  std::string payload;
+  AppendRecordPayload(r, &payload);
+  AppendPod<uint32_t>(static_cast<uint32_t>(payload.size()), out);
+  AppendPod<uint32_t>(Crc32c(payload.data(), payload.size()), out);
+  out->append(payload);
+}
+
+FrameStatus ParseRecordFrame(const uint8_t* p, size_t avail,
+                             rmap::Record* out, size_t* consumed) {
+  if (avail < kFrameHeaderBytes) return FrameStatus::kTruncated;
+  uint32_t len = 0, crc = 0;
+  std::memcpy(&len, p, sizeof(len));
+  std::memcpy(&crc, p + sizeof(len), sizeof(crc));
+  // An implausible length is corruption, not a torn tail: a frame header
+  // is written in one buffered append, so a partial *header* can only be
+  // the file's final bytes — handled by the kTruncated paths — while a
+  // complete header pointing past any sane record length means the bytes
+  // under it were damaged.
+  constexpr uint32_t kMaxFrameBytes = 1u << 26;  // 64 MiB >> any record
+  if (len > kMaxFrameBytes) return FrameStatus::kCorrupt;
+  if (avail - kFrameHeaderBytes < len) return FrameStatus::kTruncated;
+  const uint8_t* payload = p + kFrameHeaderBytes;
+  if (Crc32c(payload, len) != crc) return FrameStatus::kCorrupt;
+  rmap::Record r;
+  if (!ParseRecordPayload(payload, len, &r)) return FrameStatus::kCorrupt;
+  *out = std::move(r);
+  *consumed = kFrameHeaderBytes + len;
+  return FrameStatus::kOk;
+}
+
+}  // namespace rmi::store

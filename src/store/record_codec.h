@@ -1,0 +1,59 @@
+// Wire codec for survey records — the one serialization shared by the WAL
+// (one frame per ingested delta) and the snapshot file's survey-base
+// section (the folded record base the next rebuild re-imputes from).
+// Sharing the codec is what makes WAL truncation at publish sound: a
+// record leaves the log only once a snapshot whose base section contains
+// the identical bytes has been durably renamed in.
+//
+// Payload layout (little-endian, fixed-width, unaligned — parsed via
+// memcpy):
+//
+//   u64 id          Record::id verbatim (kUnassignedId round-trips, so a
+//                   replayed delta gets its id assigned at fold time
+//                   exactly like the never-crashed run)
+//   u64 path_id
+//   f64 time
+//   f64 rp.x, f64 rp.y
+//   u8  has_rp
+//   u32 num_aps
+//   f64 rssi[num_aps]   raw IEEE-754 bits; kNull (quiet NaN) round-trips
+//
+// Frame layout: u32 payload_len | u32 crc32c(payload) | payload.
+#ifndef RMI_STORE_RECORD_CODEC_H_
+#define RMI_STORE_RECORD_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "radiomap/radio_map.h"
+
+namespace rmi::store {
+
+/// Fixed frame overhead: u32 length + u32 crc.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Appends the bare payload encoding of `r` to `out`.
+void AppendRecordPayload(const rmap::Record& r, std::string* out);
+
+/// Parses one payload of exactly `len` bytes. False on any structural
+/// mismatch (short buffer, width/length disagreement).
+bool ParseRecordPayload(const uint8_t* p, size_t len, rmap::Record* out);
+
+/// Appends the length-prefixed CRC'd frame of `r` to `out`.
+void AppendRecordFrame(const rmap::Record& r, std::string* out);
+
+enum class FrameStatus {
+  kOk,         ///< record parsed; *consumed bytes advance
+  kTruncated,  ///< buffer ends mid-frame — a torn tail, not corruption
+  kCorrupt,    ///< CRC mismatch or malformed payload
+};
+
+/// Parses one frame from the first `avail` bytes at `p`. On kOk fills
+/// `out` and `*consumed`; on kTruncated/kCorrupt both are untouched.
+FrameStatus ParseRecordFrame(const uint8_t* p, size_t avail,
+                             rmap::Record* out, size_t* consumed);
+
+}  // namespace rmi::store
+
+#endif  // RMI_STORE_RECORD_CODEC_H_

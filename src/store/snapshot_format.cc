@@ -1,0 +1,582 @@
+#include "store/snapshot_format.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/check.h"
+#include "la/kernels.h"
+#include "obs/metrics.h"
+#include "positioning/estimators.h"
+#include "store/crc32c.h"
+#include "store/record_codec.h"
+
+namespace rmi::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+static_assert(sizeof(geom::Point) == 2 * sizeof(double) &&
+                  std::is_standard_layout_v<geom::Point>,
+              "positions section is memcpy'd as (x, y) double pairs");
+
+struct StoreMetrics {
+  obs::Counter& writes = obs::GetCounter(
+      "rmi_store_snapshot_writes_total", "Snapshot files durably published");
+  obs::Counter& write_failures =
+      obs::GetCounter("rmi_store_snapshot_write_failures_total",
+                      "Snapshot writes aborted by an I/O error");
+  obs::Counter& bytes_written =
+      obs::GetCounter("rmi_store_snapshot_bytes_written_total",
+                      "Bytes of snapshot payload durably written");
+  obs::Histogram& write_us =
+      obs::GetHistogram("rmi_store_snapshot_write_us",
+                        "Full snapshot publish latency: serialize + write + "
+                        "fsync + rename + dir fsync (microseconds)");
+  obs::Histogram& fsync_us = obs::GetHistogram(
+      "rmi_store_fsync_us", "Durability fsync latency (microseconds)");
+  obs::Counter& maps = obs::GetCounter("rmi_store_snapshot_maps_total",
+                                       "Snapshot files successfully mapped");
+  obs::Counter& map_failures =
+      obs::GetCounter("rmi_store_snapshot_map_failures_total",
+                      "Snapshot files refused at map time (torn, corrupt, "
+                      "or incompatible)");
+  obs::Gauge& mapped_bytes = obs::GetGauge(
+      "rmi_store_mapped_bytes", "Bytes currently mapped from snapshot files");
+
+  static StoreMetrics& Get() {
+    static StoreMetrics* m = new StoreMetrics();
+    return *m;
+  }
+};
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Pads `buf` to the section alignment with zero bytes (zeros, not
+/// uninitialized, so identical logical content is identical bytes), then
+/// appends the section and returns its range.
+SectionRange AddSection(std::string* buf, const void* data, size_t bytes) {
+  while (buf->size() % kSectionAlign != 0) buf->push_back('\0');
+  SectionRange range;
+  range.offset = buf->size();
+  range.size = bytes;
+  if (bytes > 0) {
+    buf->append(static_cast<const char*>(data), bytes);
+  }
+  return range;
+}
+
+template <typename T>
+void AppendPod(T v, std::string* out) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(const uint8_t* p, size_t len, size_t* off, T* v) {
+  if (len - *off < sizeof(T)) return false;
+  std::memcpy(v, p + *off, sizeof(T));
+  *off += sizeof(T);
+  return true;
+}
+
+template <typename T>
+bool ReadPodArray(const uint8_t* p, size_t len, size_t* off, size_t n,
+                  std::vector<T>* out) {
+  if ((len - *off) / sizeof(T) < n) return false;
+  out->resize(n);
+  if (n > 0) std::memcpy(out->data(), p + *off, n * sizeof(T));
+  *off += n * sizeof(T);
+  return true;
+}
+
+/// Grid blob layout: a small POD prelude (geometry + array lengths), then
+/// the arrays back to back in declaration order.
+void EncodeGridImage(const GridImage& g, std::string* out) {
+  AppendPod<double>(g.cell_size_m, out);
+  AppendPod<double>(g.min_x, out);
+  AppendPod<double>(g.min_y, out);
+  AppendPod<uint64_t>(g.dim, out);
+  AppendPod<uint64_t>(g.num_refs, out);
+  AppendPod<uint64_t>(g.grid_cols, out);
+  AppendPod<uint64_t>(g.grid_rows, out);
+  AppendPod<uint64_t>(g.num_cells(), out);
+  AppendPod<uint64_t>(g.members.size(), out);
+  out->append(reinterpret_cast<const char*>(g.slot.data()),
+              g.slot.size() * sizeof(int32_t));
+  out->append(reinterpret_cast<const char*>(g.cell_offsets.data()),
+              g.cell_offsets.size() * sizeof(uint64_t));
+  out->append(reinterpret_cast<const char*>(g.members.data()),
+              g.members.size() * sizeof(uint32_t));
+  out->append(reinterpret_cast<const char*>(g.centroids.data()),
+              g.centroids.size() * sizeof(double));
+  out->append(reinterpret_cast<const char*>(g.radii.data()),
+              g.radii.size() * sizeof(double));
+}
+
+bool DecodeGridImage(const uint8_t* p, size_t len, GridImage* out) {
+  size_t off = 0;
+  uint64_t num_cells = 0, num_members = 0;
+  GridImage g;
+  if (!ReadPod(p, len, &off, &g.cell_size_m) ||
+      !ReadPod(p, len, &off, &g.min_x) || !ReadPod(p, len, &off, &g.min_y) ||
+      !ReadPod(p, len, &off, &g.dim) || !ReadPod(p, len, &off, &g.num_refs) ||
+      !ReadPod(p, len, &off, &g.grid_cols) ||
+      !ReadPod(p, len, &off, &g.grid_rows) ||
+      !ReadPod(p, len, &off, &num_cells) ||
+      !ReadPod(p, len, &off, &num_members)) {
+    return false;
+  }
+  const uint64_t slots = g.grid_cols * g.grid_rows;
+  if (!ReadPodArray(p, len, &off, slots, &g.slot) ||
+      !ReadPodArray(p, len, &off, num_cells + 1, &g.cell_offsets) ||
+      !ReadPodArray(p, len, &off, num_members, &g.members) ||
+      !ReadPodArray(p, len, &off, num_cells * g.dim, &g.centroids) ||
+      !ReadPodArray(p, len, &off, num_cells, &g.radii)) {
+    return false;
+  }
+  if (off != len) return false;
+  if (g.cell_offsets.empty() || g.cell_offsets.back() != num_members) {
+    return false;
+  }
+  *out = std::move(g);
+  return true;
+}
+
+bool WriteAll(int fd, const char* data, size_t len, std::string* error) {
+  size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, data + written, len - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetError(error, Errno("write"));
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool FsyncFd(int fd, std::string* error) {
+  obs::ScopedStageTimer timer(StoreMetrics::Get().fsync_us);
+  if (::fsync(fd) != 0) {
+    SetError(error, Errno("fsync"));
+    return false;
+  }
+  return true;
+}
+
+bool FsyncDirOf(const std::string& path, std::string* error) {
+  const fs::path dir = fs::path(path).parent_path();
+  const std::string dir_str = dir.empty() ? "." : dir.string();
+  const int fd = ::open(dir_str.c_str(), O_RDONLY);
+  if (fd < 0) {
+    SetError(error, Errno("open dir " + dir_str));
+    return false;
+  }
+  const bool ok = FsyncFd(fd, error);
+  ::close(fd);
+  return ok;
+}
+
+/// Section size sanity against the header's dimensions — a file whose CRCs
+/// pass but whose section table disagrees with its own shape fields is
+/// still refused before any pointer escapes.
+bool ValidateSectionShapes(const SnapshotHeader& h, std::string* error) {
+  const uint64_t rows = h.num_refs, cols = h.num_aps, padded = h.quant_padded;
+  struct Expect {
+    SectionId id;
+    uint64_t size;
+    bool required;
+  };
+  const bool quant = (h.flags & kFlagHasQuant) != 0;
+  const Expect expected[] = {
+      {kSecQuantValues, cols * padded * sizeof(int8_t), quant},
+      {kSecQuantSquares, cols * padded * sizeof(int16_t), quant},
+      {kSecQuantNorms, rows * sizeof(int32_t), quant},
+      {kSecQuantScale, cols * sizeof(double), quant},
+      {kSecQuantZeroPoint, cols * sizeof(double), quant},
+      {kSecFloatRefs, rows * cols * sizeof(double), true},
+      {kSecPositions, rows * 2 * sizeof(double), true},
+      {kSecApIds, cols * sizeof(uint64_t), true},
+  };
+  for (const Expect& e : expected) {
+    const uint64_t actual = h.sections[e.id].size;
+    if (e.required && actual != e.size) {
+      SetError(error, "section " + std::to_string(e.id) + " size " +
+                          std::to_string(actual) + " != expected " +
+                          std::to_string(e.size));
+      return false;
+    }
+  }
+  if (quant && padded < rows) {
+    SetError(error, "quant_padded < num_refs");
+    return false;
+  }
+  if (((h.flags & kFlagHasGrid) != 0) != (h.sections[kSecGrid].size > 0)) {
+    SetError(error, "grid flag / section disagreement");
+    return false;
+  }
+  if (((h.flags & kFlagHasBase) != 0) != (h.sections[kSecBaseRecords].size > 0)) {
+    SetError(error, "base flag / section disagreement");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WriteSnapshotFile(const std::string& path,
+                       const SnapshotWriteRequest& req, std::string* error) {
+  StoreMetrics& metrics = StoreMetrics::Get();
+  obs::ScopedStageTimer timer(metrics.write_us);
+
+  SnapshotHeader header;
+  header.snapshot_version = req.snapshot_version;
+  header.building = req.shard.building;
+  header.floor = req.shard.floor;
+  header.wal_watermark = req.wal_watermark;
+  header.num_refs = req.num_refs;
+  header.num_aps = req.num_aps;
+
+  // Serialize the whole file into one buffer first: the header page, then
+  // each section at its aligned offset. One buffer, one write, and the
+  // payload CRC is computed over exactly the bytes that land on disk.
+  std::string file(kSnapshotHeaderBytes, '\0');
+
+  if (!req.quant.empty()) {
+    RMI_CHECK_EQ(req.quant.rows, req.num_refs);
+    RMI_CHECK_EQ(req.quant.cols, req.num_aps);
+    header.flags |= kFlagHasQuant;
+    header.quant_padded = req.quant.padded;
+    header.quant_min_scale = req.quant.min_scale;
+    header.quant_max_scale = req.quant.max_scale;
+    const size_t cells = req.quant.cols * req.quant.padded;
+    header.sections[kSecQuantValues] =
+        AddSection(&file, req.quant.values, cells * sizeof(int8_t));
+    header.sections[kSecQuantSquares] =
+        AddSection(&file, req.quant.squares, cells * sizeof(int16_t));
+    header.sections[kSecQuantNorms] =
+        AddSection(&file, req.quant.norms, req.quant.rows * sizeof(int32_t));
+    header.sections[kSecQuantScale] =
+        AddSection(&file, req.quant.scale, req.quant.cols * sizeof(double));
+    header.sections[kSecQuantZeroPoint] = AddSection(
+        &file, req.quant.zero_point, req.quant.cols * sizeof(double));
+  }
+
+  RMI_CHECK(req.refs != nullptr);
+  RMI_CHECK(req.positions != nullptr);
+  header.sections[kSecFloatRefs] = AddSection(
+      &file, req.refs, req.num_refs * req.num_aps * sizeof(double));
+  header.sections[kSecPositions] =
+      AddSection(&file, req.positions, req.num_refs * 2 * sizeof(double));
+
+  if (req.ap_ids != nullptr) {
+    header.sections[kSecApIds] =
+        AddSection(&file, req.ap_ids, req.num_aps * sizeof(uint64_t));
+  } else {
+    std::vector<uint64_t> identity(req.num_aps);
+    for (size_t j = 0; j < identity.size(); ++j) identity[j] = j;
+    header.sections[kSecApIds] = AddSection(
+        &file, identity.data(), identity.size() * sizeof(uint64_t));
+  }
+
+  if (req.grid != nullptr && !req.grid->empty()) {
+    header.flags |= kFlagHasGrid;
+    std::string blob;
+    EncodeGridImage(*req.grid, &blob);
+    header.sections[kSecGrid] = AddSection(&file, blob.data(), blob.size());
+  }
+
+  if (req.base != nullptr && !req.base->empty()) {
+    header.flags |= kFlagHasBase;
+    header.base_records = req.base->size();
+    std::string frames;
+    for (const rmap::Record& r : req.base->records()) {
+      AppendRecordFrame(r, &frames);
+    }
+    header.sections[kSecBaseRecords] =
+        AddSection(&file, frames.data(), frames.size());
+  }
+
+  header.file_bytes = file.size();
+  header.payload_crc =
+      Crc32c(file.data() + kSnapshotHeaderBytes,
+             file.size() - kSnapshotHeaderBytes);
+  header.header_crc = Crc32c(&header, offsetof(SnapshotHeader, header_crc));
+  std::memcpy(file.data(), &header, sizeof(header));
+
+  // Durable publish: temp file, fsync, atomic rename, directory fsync.
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    SetError(error, Errno("open " + tmp));
+    metrics.write_failures.Add();
+    return false;
+  }
+  if (!WriteAll(fd, file.data(), file.size(), error) ||
+      !FsyncFd(fd, error)) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    metrics.write_failures.Add();
+    return false;
+  }
+  if (::close(fd) != 0) {
+    SetError(error, Errno("close " + tmp));
+    ::unlink(tmp.c_str());
+    metrics.write_failures.Add();
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    SetError(error, Errno("rename " + tmp + " -> " + path));
+    ::unlink(tmp.c_str());
+    metrics.write_failures.Add();
+    return false;
+  }
+  if (!FsyncDirOf(path, error)) {
+    metrics.write_failures.Add();
+    return false;
+  }
+
+  metrics.writes.Add();
+  metrics.bytes_written.Add(file.size());
+  return true;
+}
+
+std::shared_ptr<const MappedSnapshot> MappedSnapshot::Map(
+    const std::string& path, std::string* error) {
+  StoreMetrics& metrics = StoreMetrics::Get();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    SetError(error, Errno("open " + path));
+    metrics.map_failures.Add();
+    return nullptr;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    SetError(error, Errno("fstat " + path));
+    ::close(fd);
+    metrics.map_failures.Add();
+    return nullptr;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < kSnapshotHeaderBytes) {
+    SetError(error, path + ": short file (" + std::to_string(size) +
+                        " bytes < header page)");
+    ::close(fd);
+    metrics.map_failures.Add();
+    return nullptr;
+  }
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the inode alive
+  if (mapping == MAP_FAILED) {
+    SetError(error, Errno("mmap " + path));
+    metrics.map_failures.Add();
+    return nullptr;
+  }
+  const auto* data = static_cast<const uint8_t*>(mapping);
+
+  // Validate before any section pointer escapes. Failures unmap and refuse
+  // the file as a unit.
+  std::string why;
+  SnapshotHeader h;
+  std::memcpy(&h, data, sizeof(h));
+  if (h.magic != kSnapshotMagic) {
+    why = "bad magic";
+  } else if (h.endian_check != kEndianCheck) {
+    why = "endianness mismatch";
+  } else if (h.format_version != kSnapshotFormatVersion) {
+    why = "format version " + std::to_string(h.format_version) +
+          " != supported " + std::to_string(kSnapshotFormatVersion);
+  } else if (Crc32c(&h, offsetof(SnapshotHeader, header_crc)) !=
+             h.header_crc) {
+    why = "header CRC mismatch";
+  } else if (h.file_bytes != size) {
+    why = "file_bytes " + std::to_string(h.file_bytes) + " != actual size " +
+          std::to_string(size);
+  } else if (Crc32c(data + kSnapshotHeaderBytes,
+                    size - kSnapshotHeaderBytes) != h.payload_crc) {
+    why = "payload CRC mismatch";
+  } else {
+    for (uint32_t s = 0; s < kNumSections && why.empty(); ++s) {
+      const SectionRange& r = h.sections[s];
+      if (r.size == 0) continue;
+      if (r.offset % kSectionAlign != 0) {
+        why = "section " + std::to_string(s) + " misaligned";
+      } else if (r.offset < kSnapshotHeaderBytes || r.offset > size ||
+                 r.size > size - r.offset) {
+        why = "section " + std::to_string(s) + " out of range";
+      }
+    }
+    if (why.empty()) ValidateSectionShapes(h, &why);
+  }
+  if (!why.empty()) {
+    ::munmap(mapping, size);
+    SetError(error, path + ": " + why);
+    metrics.map_failures.Add();
+    return nullptr;
+  }
+
+  auto snap = std::shared_ptr<MappedSnapshot>(new MappedSnapshot());
+  snap->path_ = path;
+  snap->data_ = data;
+  snap->size_ = size;
+  snap->header_ = h;
+  metrics.maps.Add();
+  metrics.mapped_bytes.Add(static_cast<double>(size));
+  return snap;
+}
+
+MappedSnapshot::~MappedSnapshot() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    StoreMetrics::Get().mapped_bytes.Sub(static_cast<double>(size_));
+  }
+}
+
+MapSnapshotView MappedSnapshot::view() const {
+  MapSnapshotView v;
+  v.snapshot_version = header_.snapshot_version;
+  v.shard = rmap::ShardId{header_.building, header_.floor};
+  v.num_refs = header_.num_refs;
+  v.num_aps = header_.num_aps;
+  v.refs = reinterpret_cast<const double*>(Section(kSecFloatRefs));
+  v.positions = reinterpret_cast<const geom::Point*>(Section(kSecPositions));
+  v.ap_ids = reinterpret_cast<const uint64_t*>(Section(kSecApIds));
+  if ((header_.flags & kFlagHasQuant) != 0) {
+    v.quant.rows = header_.num_refs;
+    v.quant.cols = header_.num_aps;
+    v.quant.padded = header_.quant_padded;
+    v.quant.values = reinterpret_cast<const int8_t*>(Section(kSecQuantValues));
+    v.quant.squares =
+        reinterpret_cast<const int16_t*>(Section(kSecQuantSquares));
+    v.quant.norms = reinterpret_cast<const int32_t*>(Section(kSecQuantNorms));
+    v.quant.scale = reinterpret_cast<const double*>(Section(kSecQuantScale));
+    v.quant.zero_point =
+        reinterpret_cast<const double*>(Section(kSecQuantZeroPoint));
+    v.quant.min_scale = header_.quant_min_scale;
+    v.quant.max_scale = header_.quant_max_scale;
+  }
+  return v;
+}
+
+bool MappedSnapshot::DecodeGrid(GridImage* out) const {
+  if ((header_.flags & kFlagHasGrid) == 0) return false;
+  return DecodeGridImage(Section(kSecGrid), header_.sections[kSecGrid].size,
+                         out);
+}
+
+bool MappedSnapshot::DecodeBase(rmap::RadioMap* out) const {
+  if ((header_.flags & kFlagHasBase) == 0) return false;
+  rmap::RadioMap base(header_.num_aps);
+  base.set_shard(rmap::ShardId{header_.building, header_.floor});
+  const uint8_t* p = Section(kSecBaseRecords);
+  size_t remaining = header_.sections[kSecBaseRecords].size;
+  uint64_t count = 0;
+  while (remaining > 0) {
+    rmap::Record r;
+    size_t consumed = 0;
+    // The payload CRC already vouched for these bytes; any frame-level
+    // failure here means the file lies about itself — refuse it.
+    if (ParseRecordFrame(p, remaining, &r, &consumed) != FrameStatus::kOk) {
+      return false;
+    }
+    if (r.rssi.size() != header_.num_aps) return false;
+    base.Add(std::move(r));
+    p += consumed;
+    remaining -= consumed;
+    ++count;
+  }
+  if (count != header_.base_records) return false;
+  *out = std::move(base);
+  return true;
+}
+
+std::vector<geom::Point> MapSnapshotView::EstimateBatch(
+    const la::Matrix& queries, size_t k, bool weighted) const {
+  RMI_CHECK(has_quant());
+  std::vector<geom::Point> out(queries.rows());
+  positioning::KnnQuantEstimateBatch(quant, refs, positions, num_refs,
+                                     num_aps, k, weighted, queries,
+                                     out.data());
+  return out;
+}
+
+geom::Point MapSnapshotView::Estimate(const std::vector<double>& query,
+                                      size_t k, bool weighted) const {
+  RMI_CHECK_EQ(query.size(), num_aps);
+  std::vector<std::pair<double, size_t>> candidates;
+  candidates.reserve(num_refs);
+  for (size_t r = 0; r < num_refs; ++r) {
+    candidates.emplace_back(
+        la::QuerySquaredDistanceRow(query.data(), refs + r * num_aps,
+                                    num_aps),
+        r);
+  }
+  return positioning::CombineKnnCandidates(std::move(candidates), positions,
+                                           k, weighted);
+}
+
+std::string SnapshotFileName(uint64_t version) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "snapshot.%020llu%s",
+                static_cast<unsigned long long>(version), kSnapshotSuffix);
+  return buf;
+}
+
+std::vector<std::string> ListSnapshotFiles(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    constexpr char kPrefix[] = "snapshot.";
+    const size_t suffix_len = sizeof(kSnapshotSuffix) - 1;
+    if (name.size() <= sizeof(kPrefix) - 1 + suffix_len) continue;
+    if (name.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) continue;
+    if (name.compare(name.size() - suffix_len, suffix_len,
+                     kSnapshotSuffix) != 0) {
+      continue;  // ".tmp" orphans and strangers
+    }
+    names.push_back(name);
+  }
+  // Versions are zero-padded, so descending lexical == descending numeric.
+  std::sort(names.begin(), names.end(), std::greater<std::string>());
+  std::vector<std::string> paths;
+  paths.reserve(names.size());
+  for (const std::string& n : names) {
+    paths.push_back((fs::path(dir) / n).string());
+  }
+  return paths;
+}
+
+std::shared_ptr<const MappedSnapshot> MapNewestValid(const std::string& dir,
+                                                     std::string* error) {
+  std::string last_error = "no snapshot files in " + dir;
+  for (const std::string& path : ListSnapshotFiles(dir)) {
+    std::string why;
+    auto snap = MappedSnapshot::Map(path, &why);
+    if (snap != nullptr) return snap;
+    last_error = why;
+  }
+  SetError(error, last_error);
+  return nullptr;
+}
+
+}  // namespace rmi::store

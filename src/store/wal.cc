@@ -1,0 +1,286 @@
+#include "store/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "store/record_codec.h"
+
+namespace rmi::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct WalMetrics {
+  obs::Counter& appends = obs::GetCounter(
+      "rmi_store_wal_appends_total", "Record frames appended to the WAL");
+  obs::Counter& append_bytes = obs::GetCounter(
+      "rmi_store_wal_append_bytes_total", "Bytes appended to the WAL");
+  obs::Counter& replayed = obs::GetCounter(
+      "rmi_store_wal_replayed_records_total",
+      "Record frames replayed from the WAL at open");
+  obs::Counter& torn_tails =
+      obs::GetCounter("rmi_store_wal_torn_tails_total",
+                      "Segments whose final frame was torn (tolerated)");
+  obs::Counter& corrupt_frames =
+      obs::GetCounter("rmi_store_wal_corrupt_frames_total",
+                      "CRC-failed or malformed frames that stopped a "
+                      "segment's replay");
+  obs::Counter& segments_deleted =
+      obs::GetCounter("rmi_store_wal_segments_deleted_total",
+                      "Sealed segments deleted after a snapshot publish");
+  obs::Histogram& fsync_us = obs::GetHistogram(
+      "rmi_store_fsync_us", "Durability fsync latency (microseconds)");
+
+  static WalMetrics& Get() {
+    static WalMetrics* m = new WalMetrics();
+    return *m;
+  }
+};
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Parses the seq out of "wal.<seq>.rmwal"; false for other names.
+bool ParseSegmentName(const std::string& name, uint64_t* seq) {
+  constexpr char kPrefix[] = "wal.";
+  const size_t prefix_len = sizeof(kPrefix) - 1;
+  const size_t suffix_len = sizeof(kWalSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, kPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, kWalSuffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+/// Segments under `dir`, ascending by seq.
+std::vector<std::pair<uint64_t, std::string>> ListSegments(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    uint64_t seq = 0;
+    if (ParseSegmentName(entry.path().filename().string(), &seq)) {
+      segments.emplace_back(seq, entry.path().string());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+bool WriteAll(int fd, const char* data, size_t len, std::string* error) {
+  size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, data + written, len - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetError(error, Errno("write"));
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool FsyncFd(int fd, std::string* error) {
+  obs::ScopedStageTimer timer(WalMetrics::Get().fsync_us);
+  if (::fsync(fd) != 0) {
+    SetError(error, Errno("fsync"));
+    return false;
+  }
+  return true;
+}
+
+/// Replays one segment file into `out->records`. Torn tails and corrupt
+/// frames stop the segment (flagged on `out`); I/O errors on read do too —
+/// recovery salvages what it can and moves on.
+void ReplaySegment(const std::string& path, Wal::ReplayResult* out) {
+  WalMetrics& metrics = WalMetrics::Get();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  const auto* p = reinterpret_cast<const uint8_t*>(bytes.data());
+  size_t remaining = bytes.size();
+  if (remaining < kWalHeaderBytes) {
+    // A header-less stub: the crash hit between open and header write.
+    out->tail_truncated = true;
+    metrics.torn_tails.Add();
+    return;
+  }
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  std::memcpy(&magic, p, sizeof(magic));
+  std::memcpy(&version, p + sizeof(magic), sizeof(version));
+  if (magic != kWalMagic || version != kWalFormatVersion) {
+    out->corrupt_frame = true;
+    metrics.corrupt_frames.Add();
+    return;
+  }
+  p += kWalHeaderBytes;
+  remaining -= kWalHeaderBytes;
+  while (remaining > 0) {
+    rmap::Record r;
+    size_t consumed = 0;
+    const FrameStatus status = ParseRecordFrame(p, remaining, &r, &consumed);
+    if (status == FrameStatus::kTruncated) {
+      out->tail_truncated = true;
+      metrics.torn_tails.Add();
+      return;
+    }
+    if (status == FrameStatus::kCorrupt) {
+      out->corrupt_frame = true;
+      metrics.corrupt_frames.Add();
+      return;
+    }
+    out->records.push_back(std::move(r));
+    metrics.replayed.Add();
+    p += consumed;
+    remaining -= consumed;
+  }
+}
+
+}  // namespace
+
+std::string WalSegmentFileName(uint64_t seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "wal.%020llu%s",
+                static_cast<unsigned long long>(seq), kWalSuffix);
+  return buf;
+}
+
+std::unique_ptr<Wal> Wal::Open(const std::string& dir, uint64_t watermark,
+                               const Options& options, ReplayResult* replay,
+                               std::string* error) {
+  WalMetrics& metrics = WalMetrics::Get();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    SetError(error, "create_directories " + dir + ": " + ec.message());
+    return nullptr;
+  }
+
+  ReplayResult result;
+  uint64_t max_seen = 0;
+  for (const auto& [seq, path] : ListSegments(dir)) {
+    if (seq < watermark) {
+      // Folded into the snapshot's base section — replaying would
+      // double-apply. A crash between snapshot rename and segment
+      // deletion lands here: this delete is the deferred half of that
+      // publish.
+      ::unlink(path.c_str());
+      ++result.segments_deleted;
+      metrics.segments_deleted.Add();
+      continue;
+    }
+    max_seen = std::max(max_seen, seq);
+    ReplaySegment(path, &result);
+    ++result.segments_replayed;
+  }
+
+  auto wal = std::unique_ptr<Wal>(new Wal());
+  wal->dir_ = dir;
+  wal->options_ = options;
+  wal->options_.sync_every = std::max<size_t>(1, wal->options_.sync_every);
+  // Never append to a pre-existing segment: a fresh seq above everything
+  // seen (and at least the watermark, so the next restart replays it).
+  const uint64_t active = std::max<uint64_t>({max_seen + 1, watermark, 1});
+  if (!wal->OpenActiveSegment(active, error)) return nullptr;
+  if (replay != nullptr) *replay = std::move(result);
+  return wal;
+}
+
+bool Wal::OpenActiveSegment(uint64_t seq, std::string* error) {
+  const std::string path =
+      (fs::path(dir_) / WalSegmentFileName(seq)).string();
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_APPEND, 0644);
+  if (fd < 0) {
+    SetError(error, Errno("open " + path));
+    return false;
+  }
+  char header[kWalHeaderBytes] = {};
+  std::memcpy(header, &kWalMagic, sizeof(kWalMagic));
+  std::memcpy(header + sizeof(kWalMagic), &kWalFormatVersion,
+              sizeof(kWalFormatVersion));
+  if (!WriteAll(fd, header, sizeof(header), error)) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    return false;
+  }
+  fd_ = fd;
+  active_seq_ = seq;
+  unsynced_appends_ = 0;
+  return true;
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) {
+    if (unsynced_appends_ > 0) ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+bool Wal::Append(const rmap::Record& r, std::string* error) {
+  WalMetrics& metrics = WalMetrics::Get();
+  std::string frame;
+  AppendRecordFrame(r, &frame);
+  if (!WriteAll(fd_, frame.data(), frame.size(), error)) return false;
+  metrics.appends.Add();
+  metrics.append_bytes.Add(frame.size());
+  if (++unsynced_appends_ >= options_.sync_every) {
+    return Sync(error);
+  }
+  return true;
+}
+
+bool Wal::Sync(std::string* error) {
+  if (unsynced_appends_ == 0) return true;
+  if (!FsyncFd(fd_, error)) return false;
+  unsynced_appends_ = 0;
+  return true;
+}
+
+uint64_t Wal::Rotate(std::string* error) {
+  if (!Sync(error)) return 0;
+  ::close(fd_);
+  fd_ = -1;
+  const uint64_t next = active_seq_ + 1;
+  if (!OpenActiveSegment(next, error)) return 0;
+  return next;
+}
+
+void Wal::DeleteSegmentsBelow(uint64_t seq) {
+  WalMetrics& metrics = WalMetrics::Get();
+  for (const auto& [segment_seq, path] : ListSegments(dir_)) {
+    if (segment_seq >= seq || segment_seq == active_seq_) continue;
+    ::unlink(path.c_str());
+    metrics.segments_deleted.Add();
+  }
+}
+
+}  // namespace rmi::store

@@ -1,0 +1,116 @@
+// Per-shard write-ahead delta log.
+//
+// The snapshot file makes a shard's *published* state durable; the WAL
+// makes the deltas that arrived since. Ingest appends one record frame
+// (store/record_codec.h) per observation with group-commit fsync —
+// durability every `sync_every` appends, not every write — and restart
+// replays the log into the delta buffer so no acknowledged observation is
+// lost to a crash, without re-running imputation.
+//
+// Segment discipline:
+//   * One directory per shard, segment files "wal.<seq>.rmwal" with the
+//     seq zero-padded (lexical order == numeric). Each segment starts with
+//     a 16-byte header: magic "RMWAL001", format u32, reserved u32.
+//   * A segment is appended by at most one process lifetime: Open() never
+//     appends to a pre-existing file — it starts a fresh segment at
+//     max-seen + 1. A torn tail can therefore only be the last frames of a
+//     crashed process, never interleaved with new appends.
+//   * Rotate() (called by the updater under the same lock that folds the
+//     delta buffer into the base) seals the active segment and starts the
+//     next one. The new active seq is the snapshot's *watermark*: every
+//     frame in segments below it is folded into the base section of the
+//     snapshot about to be written. After that snapshot is durably
+//     renamed in, DeleteSegmentsBelow(watermark) trims the log.
+//   * Open(dir, watermark, ...) deletes segments below the watermark
+//     (their records live in the snapshot's base section — replaying them
+//     too would double-apply) and replays the rest in seq order. A torn
+//     tail stops replay of that segment and is tolerated; a CRC-failed
+//     frame with a plausible header is corruption — replay of the segment
+//     stops there too, and the result flags it.
+#ifndef RMI_STORE_WAL_H_
+#define RMI_STORE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "radiomap/radio_map.h"
+
+namespace rmi::store {
+
+/// "RMWAL001" little-endian.
+inline constexpr uint64_t kWalMagic = 0x3130304C41574D52ull;
+inline constexpr uint32_t kWalFormatVersion = 1;
+inline constexpr size_t kWalHeaderBytes = 16;
+inline constexpr char kWalSuffix[] = ".rmwal";
+
+/// Canonical segment file name: "wal.<seq>.rmwal", seq zero-padded to 20.
+std::string WalSegmentFileName(uint64_t seq);
+
+class Wal {
+ public:
+  struct Options {
+    /// Group commit: fsync once per this many appends (1 = every append).
+    /// The tail of a group is only as durable as the last fsync — the
+    /// standard group-commit trade, bounded at sync_every records.
+    size_t sync_every = 32;
+  };
+
+  /// What Open() recovered from the surviving segments.
+  struct ReplayResult {
+    std::vector<rmap::Record> records;  ///< in append order across segments
+    uint64_t segments_replayed = 0;
+    uint64_t segments_deleted = 0;  ///< below the watermark
+    bool tail_truncated = false;    ///< a torn tail was tolerated
+    bool corrupt_frame = false;     ///< a CRC-failed frame stopped a segment
+  };
+
+  /// Opens the shard's log under `dir` (created if missing): deletes
+  /// segments below `watermark`, replays the rest into `*replay`, and
+  /// starts a fresh active segment. nullptr (with *error) only on I/O
+  /// failure — corrupt/torn segments degrade the replay, never the open.
+  static std::unique_ptr<Wal> Open(const std::string& dir, uint64_t watermark,
+                                   const Options& options,
+                                   ReplayResult* replay, std::string* error);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one record frame to the active segment; fsyncs when the
+  /// group-commit counter trips. External synchronization: the updater
+  /// calls this under its shard mutex.
+  bool Append(const rmap::Record& r, std::string* error);
+
+  /// Forces any unsynced appends to disk.
+  bool Sync(std::string* error);
+
+  /// Seals the active segment (final fsync) and opens the next one.
+  /// Returns the new active seq — the caller's snapshot watermark — or 0
+  /// on I/O failure.
+  uint64_t Rotate(std::string* error);
+
+  /// Deletes sealed segments with seq < `seq`. Called after the snapshot
+  /// carrying `seq` as its watermark was durably published; never touches
+  /// the active segment.
+  void DeleteSegmentsBelow(uint64_t seq);
+
+  uint64_t active_segment() const { return active_seq_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  Wal() = default;
+
+  bool OpenActiveSegment(uint64_t seq, std::string* error);
+
+  std::string dir_;
+  Options options_;
+  int fd_ = -1;
+  uint64_t active_seq_ = 0;
+  size_t unsynced_appends_ = 0;
+};
+
+}  // namespace rmi::store
+
+#endif  // RMI_STORE_WAL_H_

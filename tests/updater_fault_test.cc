@@ -11,9 +11,11 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "clustering/differentiation.h"
@@ -156,6 +158,83 @@ TEST(UpdaterFaultTest, ThrowingImputerKeepsServingAndTheLoopAlive) {
   const MapUpdaterStats stats = updater.Stats();
   EXPECT_GE(stats.rebuilds_failed, 1u);
   EXPECT_GE(stats.rebuilds_completed, shards.size() + 1);
+  // Memory-only run: the persistence counters never move.
+  EXPECT_EQ(stats.snapshots_persisted, 0u);
+  EXPECT_EQ(stats.wal_records_replayed, 0u);
+}
+
+TEST(UpdaterFaultTest, PersistenceStallsWithTheFaultAndReplaysAfterRestart) {
+  // With persistence on, a failing rebuild persists nothing — the durable
+  // state freezes at the last good snapshot while the WAL keeps absorbing
+  // ingest — and a restart over the shard dir restores that snapshot and
+  // replays the stranded deltas.
+  const std::string persist_root =
+      std::filesystem::path(::testing::TempDir()) / "fault_persist";
+  std::filesystem::remove_all(persist_root);
+  VenueOptions vopt;
+  vopt.num_buildings = 1;
+  vopt.floors_per_building = 2;
+  const auto shards = MakeSyntheticVenue(vopt);
+  const rmap::ShardId victim = shards[0].id;
+
+  ShardedSnapshotStore store;
+  cluster::MarOnlyDifferentiator differentiator;
+  FlakyImputer imputer;
+  MapUpdaterOptions opt;
+  opt.min_new_observations = 4;
+  opt.poll_interval_ms = 1.0;
+  opt.persist_dir = persist_root;
+  opt.wal_sync_every = 1;
+  MapUpdater updater(&store, &differentiator, &imputer, WknnFactory(), opt);
+  for (const VenueShard& shard : shards) {
+    updater.RegisterShard(shard.id, shard.map);
+  }
+  // Every registration publish also persisted a snapshot file.
+  const size_t persisted_baseline = updater.Stats().snapshots_persisted;
+  EXPECT_EQ(persisted_baseline, shards.size());
+
+  updater.Start();
+  imputer.fail.store(true, std::memory_order_release);
+  for (int i = 0; i < 4; ++i) {
+    updater.Ingest(victim, ObservationLike(shards[0].map, 100.0 + i));
+  }
+  ASSERT_TRUE(WaitFor([&] { return updater.Stats().rebuilds_failed >= 1; }));
+  // The failed rebuild persisted nothing (and recorded no persist failure:
+  // the persist stage was never reached).
+  EXPECT_EQ(updater.Stats().snapshots_persisted, persisted_baseline);
+  EXPECT_EQ(updater.Stats().snapshot_persist_failures, 0u);
+
+  // Heal: the recovery rebuild publishes and persists again.
+  imputer.fail.store(false, std::memory_order_release);
+  for (int i = 0; i < 4; ++i) {
+    updater.Ingest(victim, ObservationLike(shards[0].map, 200.0 + i));
+  }
+  ASSERT_TRUE(WaitFor([&] {
+    return updater.Stats().snapshots_persisted >= persisted_baseline + 1;
+  })) << "healed rebuild never persisted";
+  // Strand two post-heal observations in the WAL: below the volume
+  // trigger, so no rebuild folds them before the "crash".
+  for (int i = 0; i < 2; ++i) {
+    updater.Ingest(victim, ObservationLike(shards[0].map, 300.0 + i));
+  }
+  updater.Stop();
+  const uint64_t served_version = store.Current(victim)->version;
+
+  // Restart over the same durable state: the victim restores the healed
+  // snapshot and the stranded deltas replay from the WAL.
+  {
+    ShardedSnapshotStore store2;
+    MapUpdater restarted(&store2, &differentiator, &imputer, WknnFactory(),
+                         opt);
+    for (const VenueShard& shard : shards) {
+      restarted.RegisterShard(shard.id, shard.map);
+    }
+    const MapUpdaterStats stats = restarted.Stats();
+    EXPECT_EQ(stats.shards_restored, shards.size());
+    EXPECT_EQ(stats.wal_records_replayed, 2u);
+    EXPECT_EQ(restarted.PendingObservations(victim), 2u);
+    EXPECT_EQ(store2.Current(victim)->version, served_version);
+  }
 }
 
 TEST(UpdaterFaultTest, HangingImputerStallsTheRebuildNotServingOrIngest) {

@@ -2,11 +2,13 @@
 """CI perf-regression gate for the serving benches.
 
 Compares freshly produced BENCH_serving.json / BENCH_sharded.json /
-BENCH_rebuild.json / BENCH_scaling.json / BENCH_obs.json / BENCH_soak.json
-against the committed baselines in bench/baselines/ and fails when any
-gated metric regresses by more than the allowed fraction (default 15%).
-The soak's SLO fields additionally gate against absolute ceilings (p999
-latency, staleness p95, handover error) — acceptance bars, not
+BENCH_rebuild.json / BENCH_scaling.json / BENCH_obs.json / BENCH_soak.json /
+BENCH_persistence.json against the committed baselines in bench/baselines/
+and fails when any gated metric regresses by more than the allowed
+fraction (default 15%). The soak's SLO fields additionally gate against
+absolute ceilings (p999 latency, staleness p95, handover error), and the
+persistence bench gates its two acceptance bars (restart speedup,
+view-vs-heap serving ratio) as absolute floors — acceptance bars, not
 baseline-relative ratios.
 
 Only higher-is-better metrics gate (qps, publish throughput, and the
@@ -33,13 +35,16 @@ Refreshing baselines after an intentional perf change:
     ./build/bench_rebuild_latency --smoke &&
     ./build/bench_obs_overhead --smoke &&
     ./build/bench_soak --smoke &&
+    ./build/bench_persistence --smoke &&
     cp build/BENCH_serving.json bench/baselines/serving.json &&
     cp build/BENCH_sharded.json bench/baselines/sharded.json &&
     cp build/BENCH_rebuild.json bench/baselines/rebuild.json &&
     cp build/BENCH_obs.json bench/baselines/obs.json &&
-    cp build/BENCH_soak.json bench/baselines/soak.json
-(For the rebuild baseline, prefer the most conservative of a few runs —
-its gated speedup ratios wobble more than closed-loop qps numbers.)
+    cp build/BENCH_soak.json bench/baselines/soak.json &&
+    cp build/BENCH_persistence.json bench/baselines/persistence.json
+(For the rebuild and persistence baselines, prefer the most conservative
+of a few runs — gated speedup ratios and fsync-adjacent qps wobble more
+than closed-loop qps numbers.)
 """
 import argparse
 import json
@@ -146,6 +151,36 @@ BENCHES = [
         ],
         [],
         {"enabled_over_disabled": 0.98},
+    ),
+    # Persistence. The two acceptance bars gate as absolute floors — the
+    # zero-copy view must serve within 5% of the heap estimator
+    # (view_over_heap >= 0.95; the bench interleaves the two sides
+    # batch-by-batch so the ratio is drift-immune) and a persisted restart
+    # must beat a cold re-impute by >= 10x (median-of-3 timings). The raw
+    # qps numbers gate baseline-relative like the serving benches, from
+    # deliberately conservative committed values. Publish overhead and
+    # restart timings are context: absolute milliseconds on shared runners
+    # say little, and the fsync-heavy persisted publish cost is expected.
+    (
+        "BENCH_persistence.json",
+        "persistence.json",
+        [
+            "serving.heap_qps",
+            "serving.view_qps",
+        ],
+        [
+            "restart.cold_seconds",
+            "restart.restore_seconds",
+            "restart.wal_records_replayed",
+            "publish.memory_only_ms",
+            "publish.persisted_ms",
+            "publish.overhead_ratio",
+        ],
+        [],
+        {
+            "serving.view_over_heap": 0.95,
+            "restart.speedup": 10.0,
+        },
     ),
     # Trace-driven soak. achieved_qps is the open-loop pacing outcome and
     # gates against the baseline ratio like the other benches (a stall in
